@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// The quick experiments must run clean end-to-end (output goes to
+// stdout; correctness of the numbers is asserted by the library tests —
+// these are harness smoke tests).
+func TestQuickExperiments(t *testing.T) {
+	cfg := benchConfig{nodes: []int{1, 2}, budget: 10}
+	for _, e := range experiments {
+		switch e.name {
+		case "fig2", "dims", "dncexample":
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		}
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("experiment %q incomplete", e.name)
+		}
+	}
+}

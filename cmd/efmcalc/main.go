@@ -1,0 +1,197 @@
+// Command efmcalc computes the elementary flux modes of a metabolic
+// network with the serial, combinatorial-parallel, or combined
+// divide-and-conquer Nullspace Algorithm.
+//
+// Usage:
+//
+//	efmcalc -model toy
+//	efmcalc -model yeast1 -algorithm dnc -partition R89r,R74r -nodes 4
+//	efmcalc -file net.txt -algorithm parallel -nodes 8 -out efms.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/stats"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "", "built-in network: "+strings.Join(elmocomp.BuiltinNames(), ", "))
+		file      = flag.String("file", "", "network file in reaction-equation format")
+		algorithm = flag.String("algorithm", "serial", "serial | parallel | dnc")
+		nodes     = flag.Int("nodes", 1, "simulated compute nodes (parallel, dnc)")
+		qsub      = flag.Int("qsub", 2, "divide-and-conquer partition size")
+		partition = flag.String("partition", "", "comma-separated partition reaction names (dnc)")
+		test      = flag.String("test", "rank", "elementarity test: rank | tree")
+		tcp       = flag.Bool("tcp", false, "route node traffic over loopback TCP")
+		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions during reduction")
+		maxModes  = flag.Int("max-modes", 0, "abort/re-split when an intermediate matrix exceeds this many columns")
+		out       = flag.String("out", "", "write EFM supports to this file (default: count only)")
+		writeFlux = flag.Bool("flux", false, "include exact flux values in the output")
+		verify    = flag.Bool("verify", false, "re-verify every mode in exact arithmetic")
+		verbose   = flag.Bool("v", false, "progress output")
+		statsFlag = flag.Bool("stats", false, "print per-iteration/per-subproblem statistics")
+	)
+	flag.Parse()
+
+	net, err := loadNetwork(*modelName, *file)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := elmocomp.Config{
+		Nodes:                  *nodes,
+		Qsub:                   *qsub,
+		OverTCP:                *tcp,
+		KeepDuplicateReactions: *keepDup,
+		MaxIntermediateModes:   *maxModes,
+	}
+	switch *algorithm {
+	case "serial":
+		cfg.Algorithm = elmocomp.Serial
+	case "parallel":
+		cfg.Algorithm = elmocomp.Parallel
+	case "dnc":
+		cfg.Algorithm = elmocomp.DivideAndConquer
+	default:
+		fatal(fmt.Errorf("unknown -algorithm %q", *algorithm))
+	}
+	switch *test {
+	case "rank":
+		cfg.Test = elmocomp.RankTest
+	case "tree":
+		cfg.Test = elmocomp.CombinatorialTest
+	default:
+		fatal(fmt.Errorf("unknown -test %q", *test))
+	}
+	if *partition != "" {
+		cfg.Partition = strings.Split(*partition, ",")
+	}
+	if *verbose {
+		cfg.Progress = func(m string) { fmt.Fprintln(os.Stderr, m) }
+	}
+
+	start := time.Now()
+	res, err := elmocomp.ComputeEFMs(net, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("network: %s (%d metabolites x %d reactions)\n",
+		net.Name(), net.NumInternalMetabolites(), net.NumReactions())
+	fmt.Printf("reduction: %s\n", res.ReductionSummary())
+	fmt.Printf("elementary flux modes: %s\n", stats.Count(int64(res.Len())))
+	fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
+	fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
+	if res.CommBytes > 0 {
+		fmt.Printf("communication: %s in %s messages\n",
+			stats.Bytes(res.CommBytes), stats.Count(res.CommMessages))
+	}
+	fmt.Printf("elapsed: %v\n", elapsed)
+
+	if *statsFlag {
+		printStats(res)
+	}
+	if *verify {
+		if err := res.Verify(); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Println("verification: all modes exact-checked OK")
+	}
+	if *out != "" {
+		if err := writeOutput(*out, res, *writeFlux); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d modes to %s\n", res.Len(), *out)
+	}
+}
+
+func loadNetwork(modelName, file string) (*elmocomp.Network, error) {
+	switch {
+	case modelName != "" && file != "":
+		return nil, fmt.Errorf("pass -model or -file, not both")
+	case modelName != "":
+		return elmocomp.Builtin(modelName)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return elmocomp.ParseNetwork(f)
+	default:
+		return nil, fmt.Errorf("pass -model <name> or -file <path>")
+	}
+}
+
+func printStats(res *elmocomp.Result) {
+	if len(res.Iterations) > 0 {
+		tb := stats.NewTable("per-iteration statistics",
+			"reaction", "rev", "pos", "neg", "zero", "candidates", "accepted", "dup", "modes out")
+		for _, it := range res.Iterations {
+			tb.AddRow(it.Reaction, it.Reversible, it.Pos, it.Neg, it.Zero,
+				stats.Count(it.CandidateModes), stats.Count(it.Accepted),
+				stats.Count(it.Duplicates), it.ModesOut)
+		}
+		tb.Render(os.Stdout)
+	}
+	if len(res.Subproblems) > 0 {
+		tb := stats.NewTable("divide-and-conquer subproblems",
+			"class", "EFMs", "candidates", "gen(s)", "rank(s)", "comm(s)", "merge(s)", "note")
+		for _, s := range res.Subproblems {
+			note := ""
+			if s.Skipped {
+				note = "skipped (infeasible)"
+			}
+			if s.ReSplit {
+				note = "re-split"
+			}
+			tb.AddRow(s.Pattern, stats.Count(int64(s.EFMs)), stats.Count(s.CandidateModes),
+				s.Seconds.GenerateCandidates, s.Seconds.RankTests,
+				s.Seconds.Communicate, s.Seconds.Merge, note)
+		}
+		tb.Render(os.Stdout)
+	}
+	p := res.Phases
+	fmt.Printf("phases: gen=%s rank=%s comm=%s merge=%s\n",
+		stats.Seconds(p.GenerateCandidates), stats.Seconds(p.RankTests),
+		stats.Seconds(p.Communicate), stats.Seconds(p.Merge))
+}
+
+func writeOutput(path string, res *elmocomp.Result, withFlux bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if !withFlux {
+		return res.WriteSupports(f)
+	}
+	for i := 0; i < res.Len(); i++ {
+		flux, err := res.Flux(i)
+		if err != nil {
+			return fmt.Errorf("mode %d: %w", i, err)
+		}
+		names := res.SupportNames(i)
+		for j, n := range names {
+			if j > 0 {
+				fmt.Fprint(f, " ")
+			}
+			fmt.Fprintf(f, "%s=%s", n, flux[n].RatString())
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "efmcalc:", err)
+	os.Exit(1)
+}

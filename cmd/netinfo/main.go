@@ -1,0 +1,125 @@
+// Command netinfo inspects a metabolic network: dimensions, structural
+// warnings, the reduction report (the paper's "62x78 (35x55)" numbers),
+// and the prepared nullspace problem (kernel dimension, row ordering,
+// split reactions).
+//
+// Usage:
+//
+//	netinfo -model yeast1
+//	netinfo -file net.txt -reactions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/stats"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "", "built-in network: "+strings.Join(model.BuiltinNames(), ", "))
+		file      = flag.String("file", "", "network file in reaction-equation format")
+		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions")
+		listRxns  = flag.Bool("reactions", false, "list all reactions")
+		listCols  = flag.Bool("columns", false, "list the reduced columns with their members")
+	)
+	flag.Parse()
+
+	var n *model.Network
+	switch {
+	case *modelName != "":
+		n = model.Builtin(*modelName)
+		if n == nil {
+			fatal(fmt.Errorf("unknown model %q", *modelName))
+		}
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := model.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		n = parsed
+	default:
+		fatal(fmt.Errorf("pass -model <name> or -file <path>"))
+	}
+
+	mets := n.InternalMetabolites()
+	nRev := 0
+	for _, r := range n.Reactions {
+		if r.Reversible {
+			nRev++
+		}
+	}
+	fmt.Printf("network %s: %d internal metabolites, %d reactions (%d reversible), %d external metabolites\n",
+		n.Name, len(mets), len(n.Reactions), nRev, len(n.ExternalMetabolites()))
+	for _, w := range n.Validate() {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	if *listRxns {
+		for _, r := range n.Reactions {
+			fmt.Printf("  %s : %s\n", r.Name, r.Equation())
+		}
+	}
+
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: !*keepDup})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("reduction: %s\n", red.Summary())
+	if len(red.Zero) > 0 {
+		var names []string
+		for _, z := range red.Zero {
+			names = append(names, n.Reactions[z].Name)
+		}
+		fmt.Printf("  zero-flux reactions: %s\n", strings.Join(names, ", "))
+	}
+	if *listCols {
+		tb := stats.NewTable("reduced columns", "#", "name", "reversible", "members")
+		for i, c := range red.Cols {
+			tb.AddRow(i, c.Name, c.Reversible, len(c.Members))
+		}
+		tb.Render(os.Stdout)
+	}
+
+	if red.N.Cols() == 0 {
+		fmt.Println("network reduces to nothing; no flux modes exist")
+		return
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nullspace problem: q=%d reactions, m=%d constraints, kernel dimension D=%d (%d iterations)\n",
+		p.Q(), p.M(), p.D, p.Q()-p.D)
+	if p.Split != nil {
+		var names []string
+		for _, c := range p.Split.SplitCols {
+			names = append(names, red.Cols[c].Name)
+		}
+		fmt.Printf("  split reversible columns: %s\n", strings.Join(names, ", "))
+	}
+	var order []string
+	for i := p.D; i < p.Q(); i++ {
+		name := red.Cols[p.OrigCol(p.Perm[i])].Name
+		if p.Rev[i] {
+			name += "(r)"
+		}
+		order = append(order, name)
+	}
+	fmt.Printf("iteration order: %s\n", strings.Join(order, " "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netinfo:", err)
+	os.Exit(1)
+}

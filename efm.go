@@ -1,0 +1,602 @@
+// Package elmocomp computes elementary flux modes (EFMs) of metabolic
+// networks with the Nullspace Algorithm and its distributed-memory
+// parallelizations, reproducing "Divide-and-conquer approach to the
+// parallel computation of elementary flux modes in metabolic networks"
+// (Jevremovic, Boley, Sosa; IEEE IPDPS 2011).
+//
+// The package offers three drivers over one engine:
+//
+//   - Serial: the sequential Nullspace Algorithm (paper Algorithm 1);
+//   - Parallel: the combinatorial parallel algorithm with replicated
+//     state and a Communicate&Merge candidate exchange over a simulated
+//     compute cluster (Algorithm 2);
+//   - DivideAndConquer: the combined algorithm, partitioning the EFM set
+//     into disjoint classes over a subset of reactions and solving each
+//     class independently with the parallel algorithm (Algorithm 3).
+//
+// Quickstart:
+//
+//	net, _ := elmocomp.Builtin("toy")
+//	res, _ := elmocomp.ComputeEFMs(net, elmocomp.Config{})
+//	for i := 0; i < res.Len(); i++ {
+//	    fmt.Println(res.SupportNames(i))
+//	}
+package elmocomp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/core"
+	"elmocomp/internal/dnc"
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/parallel"
+	"elmocomp/internal/reduce"
+)
+
+// Network is a metabolic network: reactions with exact stoichiometry and
+// reversibility flags over internal and external metabolites.
+type Network struct {
+	inner *model.Network
+}
+
+// ParseNetwork reads a network in the reaction-equation text format:
+//
+//	# comment
+//	name demo
+//	external BIO
+//	R1 : GLCext + PEP => G6P + PYR
+//	R2 : G6P <=> F6P
+//
+// Metabolites suffixed "ext" (or listed in an "external" directive) are
+// external; "=>" marks irreversible and "<=>" reversible reactions.
+func ParseNetwork(r io.Reader) (*Network, error) {
+	n, err := model.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: n}, nil
+}
+
+// ParseNetworkString parses a network from a string.
+func ParseNetworkString(src string) (*Network, error) {
+	n, err := model.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: n}, nil
+}
+
+// Builtin returns one of the bundled networks: "toy" (the paper's
+// Figure 1 example), "yeast1" (S. cerevisiae Network I, 62×78), or
+// "yeast2" (Network II, 63×83).
+func Builtin(name string) (*Network, error) {
+	n := model.Builtin(name)
+	if n == nil {
+		return nil, fmt.Errorf("elmocomp: unknown built-in network %q (have %v)", name, model.BuiltinNames())
+	}
+	return &Network{inner: n}, nil
+}
+
+// BuiltinNames lists the bundled network names.
+func BuiltinNames() []string { return model.BuiltinNames() }
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.inner.Name }
+
+// NumReactions returns the reaction count.
+func (n *Network) NumReactions() int { return len(n.inner.Reactions) }
+
+// NumInternalMetabolites returns the internal metabolite count.
+func (n *Network) NumInternalMetabolites() int { return len(n.inner.InternalMetabolites()) }
+
+// ReactionNames returns the reaction names in declaration order.
+func (n *Network) ReactionNames() []string { return n.inner.ReactionNames() }
+
+// String renders the network in the parser's input format.
+func (n *Network) String() string { return n.inner.String() }
+
+// Validate returns human-readable structural warnings (dead-end
+// metabolites and the like). An empty slice means no findings.
+func (n *Network) Validate() []string { return n.inner.Validate() }
+
+// Algorithm selects the driver.
+type Algorithm int
+
+const (
+	// Serial runs Algorithm 1.
+	Serial Algorithm = iota
+	// Parallel runs Algorithm 2 on Config.Nodes simulated compute nodes.
+	Parallel
+	// DivideAndConquer runs Algorithm 3: 2^Qsub independent
+	// subproblems, each solved with Algorithm 2.
+	DivideAndConquer
+)
+
+// ElementarityTest selects the candidate test of the core engine.
+type ElementarityTest int
+
+const (
+	// RankTest is the paper's algebraic rank test (default).
+	RankTest ElementarityTest = iota
+	// CombinatorialTest is the superset adjacency test on bit-pattern
+	// trees; it implies the fully split ("binary approach") formulation.
+	CombinatorialTest
+)
+
+// Config controls a computation. The zero value runs the serial
+// algorithm with the paper's defaults.
+type Config struct {
+	Algorithm Algorithm
+	// Nodes is the simulated compute-node count for Parallel and
+	// DivideAndConquer (default 1).
+	Nodes int
+	// Qsub is the divide-and-conquer partition size (default 2).
+	Qsub int
+	// Partition names the partition reactions explicitly (overrides
+	// Qsub). Reactions must survive network reduction.
+	Partition []string
+	// Test selects the elementarity test.
+	Test ElementarityTest
+	// KeepDuplicateReactions disables the duplicate-column merge during
+	// reduction (see package reduce for the semantics).
+	KeepDuplicateReactions bool
+	// Tolerance overrides the numerical zero tolerance (default 1e-9).
+	Tolerance float64
+	// MaxIntermediateModes aborts (Serial/Parallel) or triggers adaptive
+	// re-splitting (DivideAndConquer) when an intermediate mode matrix
+	// exceeds this column count. 0 means unlimited.
+	MaxIntermediateModes int
+	// DisableRowOrdering / DisableReversibleLast switch off the paper's
+	// row-ordering heuristics (for ablation studies).
+	DisableRowOrdering    bool
+	DisableReversibleLast bool
+	// OverTCP routes inter-node traffic through loopback TCP sockets
+	// instead of in-process channels.
+	OverTCP bool
+	// Progress, when set, receives a line of status per completed
+	// iteration or subproblem.
+	Progress func(msg string)
+}
+
+// IterationStat mirrors one iteration of the algorithm.
+type IterationStat struct {
+	Reaction       string // reduced reaction name whose row was processed
+	Reversible     bool
+	Pos, Neg, Zero int
+	CandidateModes int64 // |pos|·|neg| combinations generated
+	Accepted       int64
+	Duplicates     int64
+	ModesOut       int
+}
+
+// PhaseSeconds is the per-phase timing of a distributed run (Table II's
+// row structure).
+type PhaseSeconds struct {
+	GenerateCandidates float64
+	RankTests          float64
+	Communicate        float64
+	Merge              float64
+}
+
+// Total sums the phases.
+func (p PhaseSeconds) Total() float64 {
+	return p.GenerateCandidates + p.RankTests + p.Communicate + p.Merge
+}
+
+// SubproblemStat describes one divide-and-conquer class.
+type SubproblemStat struct {
+	ID             uint64
+	Pattern        string // e.g. "R89r=0,R74r≠0"
+	EFMs           int
+	CandidateModes int64
+	Skipped        bool
+	ReSplit        bool
+	// Unresolved marks a class that hit MaxIntermediateModes at the
+	// re-split depth limit; its EFMs are missing from the Result (the
+	// budgeted Table IV exploration mode).
+	Unresolved bool
+	Seconds    PhaseSeconds
+}
+
+// Result holds the computed elementary flux modes and the run's
+// statistics. Supports are stored compactly; accessors expand on demand.
+type Result struct {
+	network *model.Network
+	red     *reduce.Reduced
+	// supports over reduced columns, sorted and pairwise distinct.
+	supports []bitset.Set
+
+	// CandidateModes is the total number of generated intermediate
+	// candidate modes (the paper's headline cost metric).
+	CandidateModes int64
+	// Iterations holds per-iteration statistics (Serial/Parallel only).
+	Iterations []IterationStat
+	// Phases holds the critical-path phase times (Parallel/DnC).
+	Phases PhaseSeconds
+	// Subproblems describes the divide-and-conquer classes (DnC only).
+	Subproblems []SubproblemStat
+	// CommBytes / CommMessages total the inter-node traffic.
+	CommBytes, CommMessages int64
+	// PeakNodeBytes is the largest mode-matrix payload held by any
+	// single node at any time.
+	PeakNodeBytes int64
+}
+
+// Len returns the number of elementary flux modes.
+func (r *Result) Len() int { return len(r.supports) }
+
+// ReducedSupport returns mode i's support as indices into the reduced
+// network's columns.
+func (r *Result) ReducedSupport(i int) []int {
+	return r.supports[i].Indices(nil)
+}
+
+// SupportNames returns the original reaction names carrying non-zero
+// flux in mode i, sorted. Reactions merged during reduction (enzyme
+// subsets) all appear.
+func (r *Result) SupportNames(i int) []string {
+	flux, err := r.Flux(i)
+	if err != nil {
+		// Fall back to reduced-column names.
+		var names []string
+		for _, c := range r.supports[i].Indices(nil) {
+			names = append(names, r.red.Cols[c].Name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	var names []string
+	for name, v := range flux {
+		if v.Sign() != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Flux reconstructs mode i's exact flux distribution over the original
+// reactions, scaled so the smallest non-zero magnitude is 1. Reversible
+// reactions may carry negative flux.
+func (r *Result) Flux(i int) (map[string]*big.Rat, error) {
+	support := r.supports[i].Indices(nil)
+	sub := r.red.N.SelectColumns(support)
+	k, _ := sub.Kernel()
+	if k.Cols() != 1 {
+		return nil, fmt.Errorf("elmocomp: mode %d support has nullity %d, want 1", i, k.Cols())
+	}
+	v := make([]*big.Rat, len(r.red.Cols))
+	for j := range v {
+		v[j] = new(big.Rat)
+	}
+	for jj, col := range support {
+		v[col] = new(big.Rat).Set(k.At(jj, 0))
+	}
+	// Orient: first irreversible support column non-negative.
+	flip := false
+	oriented := false
+	for jj, col := range support {
+		if !r.red.Cols[col].Reversible {
+			flip = k.At(jj, 0).Sign() < 0
+			oriented = true
+			break
+		}
+	}
+	if !oriented && k.At(0, 0).Sign() < 0 {
+		flip = true
+	}
+	if flip {
+		for _, x := range v {
+			x.Neg(x)
+		}
+	}
+	// Scale: smallest non-zero magnitude becomes 1.
+	var minAbs *big.Rat
+	for _, x := range v {
+		if x.Sign() == 0 {
+			continue
+		}
+		a := new(big.Rat).Abs(x)
+		if minAbs == nil || a.Cmp(minAbs) < 0 {
+			minAbs = a
+		}
+	}
+	if minAbs != nil && minAbs.Sign() > 0 {
+		inv := new(big.Rat).Inv(minAbs)
+		for _, x := range v {
+			x.Mul(x, inv)
+		}
+	}
+	orig := r.red.Expand(v)
+	out := make(map[string]*big.Rat)
+	for ri, val := range orig {
+		if val.Sign() != 0 {
+			out[r.network.Reactions[ri].Name] = val
+		}
+	}
+	return out, nil
+}
+
+// ReductionSummary describes the preprocessing step ("62x78 -> 35x55").
+func (r *Result) ReductionSummary() string { return r.red.Summary() }
+
+// ParticipationCounts returns, for every original reaction that appears
+// in at least one mode, the number of modes carrying flux through it.
+// This is the cheap aggregate used by knockout screens and by the
+// duplicate-count reconciliation in EXPERIMENTS.md; it attributes merged
+// duplicate columns to their positive-direction representative (exact
+// per-mode attribution needs Flux, which is far more expensive).
+func (r *Result) ParticipationCounts() map[string]int {
+	colCounts := make([]int, len(r.red.Cols))
+	for _, b := range r.supports {
+		for _, c := range b.Indices(nil) {
+			colCounts[c]++
+		}
+	}
+	out := make(map[string]int)
+	for c, cnt := range colCounts {
+		if cnt == 0 {
+			continue
+		}
+		for _, m := range r.red.Cols[c].Members {
+			out[r.network.Reactions[m.Index].Name] += cnt
+		}
+	}
+	return out
+}
+
+// CountUsing returns how many modes carry flux through the named
+// reduced column (identified by any of its member reactions' names).
+func (r *Result) CountUsing(reaction string) int {
+	col := r.red.ColumnIndexByOriginal(reaction)
+	if col < 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range r.supports {
+		if b.Test(col) {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteSupports writes one line per mode, listing the support's original
+// reaction names — the bit-valued EFM matrix in text form.
+func (r *Result) WriteSupports(w io.Writer) error {
+	for i := 0; i < r.Len(); i++ {
+		names := r.SupportNames(i)
+		for j, n := range names {
+			if j > 0 {
+				if _, err := io.WriteString(w, " "); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, n); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify re-checks every mode in exact arithmetic against the ORIGINAL
+// network: steady-state balance, sign feasibility, support minimality
+// (nullity 1), and pairwise support incomparability. Cost is roughly one
+// exact kernel per mode plus a quadratic support scan; intended for
+// small-to-medium results and tests.
+func (r *Result) Verify() error {
+	N, _ := r.network.Stoichiometry()
+	for i := 0; i < r.Len(); i++ {
+		flux, err := r.Flux(i)
+		if err != nil {
+			return fmt.Errorf("mode %d: %w", i, err)
+		}
+		full := make([]*big.Rat, len(r.network.Reactions))
+		for j, rxn := range r.network.Reactions {
+			if v, ok := flux[rxn.Name]; ok {
+				full[j] = v
+				if !rxn.Reversible && v.Sign() < 0 {
+					return fmt.Errorf("mode %d: irreversible %s carries %v", i, rxn.Name, v)
+				}
+			} else {
+				full[j] = new(big.Rat)
+			}
+		}
+		for row, b := range N.MulVec(full) {
+			if b.Sign() != 0 {
+				return fmt.Errorf("mode %d: metabolite row %d imbalance %v", i, row, b)
+			}
+		}
+	}
+	for i := 0; i < r.Len(); i++ {
+		for j := 0; j < r.Len(); j++ {
+			if i != j && r.supports[i].IsSubsetOf(r.supports[j]) {
+				return fmt.Errorf("mode %d's support is contained in mode %d's", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ComputeEFMs computes the elementary flux modes of the network.
+func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
+	red, err := reduce.Network(n.inner, reduce.Options{MergeDuplicates: !cfg.KeepDuplicateReactions})
+	if err != nil {
+		return nil, err
+	}
+	if red.N.Cols() == 0 {
+		return &Result{network: n.inner, red: red}, nil
+	}
+	h := nullspace.Heuristics{
+		DisableNonzeroOrder:   cfg.DisableRowOrdering,
+		DisableReversibleLast: cfg.DisableReversibleLast,
+		SplitAllReversible:    cfg.Test == CombinatorialTest,
+	}
+	copts := core.Options{
+		Tol:      cfg.Tolerance,
+		MaxModes: cfg.MaxIntermediateModes,
+	}
+	if cfg.Test == CombinatorialTest {
+		copts.Test = core.CombinatorialTest
+	}
+	if cfg.Progress != nil {
+		copts.Trace = func(it core.IterStats, set *core.ModeSet) {
+			cfg.Progress(fmt.Sprintf("row %d: %d candidates, %d accepted, %d modes",
+				it.Row, it.Pairs, it.Accepted, it.ModesOut))
+		}
+	}
+
+	res := &Result{network: n.inner, red: red}
+	switch cfg.Algorithm {
+	case Serial:
+		p, err := nullspace.New(red.N, red.Reversibilities(), h)
+		if err != nil {
+			return nil, err
+		}
+		run, err := core.Run(p, copts)
+		if err != nil {
+			return nil, err
+		}
+		res.supports = core.CanonicalSupports(run)
+		res.CandidateModes = run.TotalPairs()
+		res.PeakNodeBytes = run.PeakBytes()
+		res.Iterations = iterStats(run.Stats, red, p)
+		res.Phases = phasesFromStats(run.Stats)
+	case Parallel:
+		p, err := nullspace.New(red.N, red.Reversibilities(), h)
+		if err != nil {
+			return nil, err
+		}
+		popts := parallel.Options{Core: copts, Nodes: cfg.Nodes}
+		if cfg.OverTCP {
+			popts.Transport = parallel.TCP
+		}
+		run, err := parallel.Run(p, popts)
+		if err != nil {
+			return nil, err
+		}
+		res.supports = core.CanonicalSupports(run.Result)
+		res.CandidateModes = run.TotalPairs()
+		res.PeakNodeBytes = run.PeakNodeBytes
+		res.CommBytes = run.Comm.Bytes
+		res.CommMessages = run.Comm.Messages
+		res.Iterations = iterStats(run.Stats, red, p)
+		mp := run.MaxPhases()
+		res.Phases = PhaseSeconds{mp.GenCand, mp.RankTest, mp.Communicate, mp.Merge}
+	case DivideAndConquer:
+		dopts := dnc.Options{
+			Parallel: parallel.Options{Core: copts, Nodes: cfg.Nodes},
+			Qsub:     cfg.Qsub,
+		}
+		if cfg.OverTCP {
+			dopts.Parallel.Transport = parallel.TCP
+		}
+		if len(cfg.Partition) > 0 {
+			for _, name := range cfg.Partition {
+				col := red.ColumnIndexByOriginal(name)
+				if col < 0 {
+					return nil, fmt.Errorf("elmocomp: partition reaction %q was eliminated by reduction (or does not exist)", name)
+				}
+				dopts.Partition = append(dopts.Partition, col)
+			}
+		}
+		if cfg.Progress != nil {
+			dopts.Progress = func(sub *dnc.Subproblem) {
+				cfg.Progress(fmt.Sprintf("subset %0*b: %d EFMs, %d candidates",
+					len(sub.Partition), sub.ID, len(sub.Supports), sub.Pairs))
+			}
+		}
+		run, err := dnc.Run(red.N, red.Reversibilities(), dopts)
+		if err != nil {
+			return nil, err
+		}
+		res.supports = run.Supports
+		res.CandidateModes = run.TotalPairs()
+		res.PeakNodeBytes = run.PeakNodeBytes()
+		res.Subproblems = subStats(run, red)
+		for _, s := range res.Subproblems {
+			res.Phases.GenerateCandidates += s.Seconds.GenerateCandidates
+			res.Phases.RankTests += s.Seconds.RankTests
+			res.Phases.Communicate += s.Seconds.Communicate
+			res.Phases.Merge += s.Seconds.Merge
+		}
+	default:
+		return nil, fmt.Errorf("elmocomp: unknown algorithm %d", cfg.Algorithm)
+	}
+	return res, nil
+}
+
+func iterStats(stats []core.IterStats, red *reduce.Reduced, p *nullspace.Problem) []IterationStat {
+	out := make([]IterationStat, len(stats))
+	for i, s := range stats {
+		out[i] = IterationStat{
+			Reaction:       red.Cols[p.OrigCol(s.Reaction)].Name,
+			Reversible:     s.Reversible,
+			Pos:            s.Pos,
+			Neg:            s.Neg,
+			Zero:           s.Zero,
+			CandidateModes: s.Pairs,
+			Accepted:       s.Accepted,
+			Duplicates:     s.Duplicates,
+			ModesOut:       s.ModesOut,
+		}
+	}
+	return out
+}
+
+func phasesFromStats(stats []core.IterStats) PhaseSeconds {
+	var p PhaseSeconds
+	for _, s := range stats {
+		p.GenerateCandidates += s.GenSeconds
+		p.RankTests += s.TestSeconds
+		p.Merge += s.MergeSeconds
+	}
+	return p
+}
+
+func subStats(run *dnc.Result, red *reduce.Reduced) []SubproblemStat {
+	var out []SubproblemStat
+	var walk func(s *dnc.Subproblem)
+	walk = func(s *dnc.Subproblem) {
+		pattern := ""
+		for i, col := range s.Partition {
+			if i > 0 {
+				pattern += ","
+			}
+			op := "=0"
+			if s.ID&(1<<uint(i)) != 0 {
+				op = "!=0"
+			}
+			pattern += red.Cols[col].Name + op
+		}
+		out = append(out, SubproblemStat{
+			ID:             s.ID,
+			Pattern:        pattern,
+			EFMs:           len(s.Supports),
+			CandidateModes: s.Pairs,
+			Skipped:        s.Skipped,
+			ReSplit:        len(s.Children) > 0,
+			Unresolved:     s.Unresolved,
+			Seconds: PhaseSeconds{
+				s.Phases.GenCand, s.Phases.RankTest,
+				s.Phases.Communicate, s.Phases.Merge,
+			},
+		})
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range run.Subproblems {
+		walk(s)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Quickstart: compute the elementary flux modes of the paper's toy
+// network (Figure 1) and print each pathway with its exact flux values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"elmocomp"
+)
+
+func main() {
+	// The toy network of the paper's Figure 1: five internal
+	// metabolites (A, B, C, D, P), nine reactions, two of them
+	// reversible. Builtin("toy") ships with the library; any network
+	// can be defined in the same text format:
+	net, err := elmocomp.ParseNetworkString(`
+name toy
+r1 : Aext => A
+r2 : A => C
+r3 : C => D + P
+r4 : P => Pext
+r5 : A => B
+r6r : B <=> C
+r7 : B => 2 P
+r8r : B <=> Bext
+r9 : D => Dext
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The zero Config runs the serial Nullspace Algorithm with the
+	// paper's defaults (network compression, rank test, row-ordering
+	// heuristics).
+	res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d elementary flux modes (paper's matrix (7) has 8 columns)\n\n",
+		net.Name(), res.Len())
+	for i := 0; i < res.Len(); i++ {
+		flux, err := res.Flux(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var parts []string
+		for _, name := range res.SupportNames(i) {
+			parts = append(parts, fmt.Sprintf("%s=%s", name, flux[name].RatString()))
+		}
+		fmt.Printf("EFM %d: %s\n", i+1, strings.Join(parts, "  "))
+	}
+
+	// Every mode can be re-verified in exact rational arithmetic
+	// against the original (unreduced) network.
+	if err := res.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall modes verified: N·r = 0 exactly, signs feasible, supports minimal")
+}

@@ -1,0 +1,3 @@
+module elmocomp
+
+go 1.22

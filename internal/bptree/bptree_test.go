@@ -1,0 +1,183 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pat(width int, bits ...int) []uint64 {
+	w := make([]uint64, (width+63)/64)
+	for _, b := range bits {
+		w[b/64] |= 1 << uint(b%64)
+	}
+	return w
+}
+
+func TestBasicSubsetQueries(t *testing.T) {
+	b := NewBuilder(10)
+	b.Add(pat(10, 0, 1))
+	b.Add(pat(10, 2, 3))
+	b.Add(pat(10, 0, 5, 9))
+	tree := b.Build()
+	if tree.Len() != 3 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if !tree.HasSubsetOf(pat(10, 0, 1, 2)) {
+		t.Fatal("missed {0,1} ⊆ {0,1,2}")
+	}
+	if tree.HasSubsetOf(pat(10, 1, 2)) {
+		t.Fatal("found a subset of {1,2}, none exists")
+	}
+	if !tree.HasSubsetOf(pat(10, 0, 5, 9)) {
+		t.Fatal("a pattern is a subset of itself")
+	}
+	if got := tree.CountSubsetsOf(pat(10, 0, 1, 2, 3)); got != 2 {
+		t.Fatalf("CountSubsetsOf = %d, want 2", got)
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	b := NewBuilder(8)
+	b.Add(pat(8, 0))    // 0
+	b.Add(pat(8, 1))    // 1
+	b.Add(pat(8, 0, 1)) // 2
+	tree := b.Build()
+	// Query {0,1}: subsets are patterns 0, 1, 2.
+	if !tree.HasSubsetOfExcluding(pat(8, 0, 1), 0, 1) {
+		t.Fatal("pattern 2 should still match when 0 and 1 are excluded")
+	}
+	if tree.HasSubsetOfExcluding(pat(8, 0), 0, -1) {
+		t.Fatal("only pattern 0 is a subset of {0}; excluding it must yield false")
+	}
+}
+
+func TestEmptyAndWidthChecks(t *testing.T) {
+	tree := NewBuilder(5).Build()
+	if tree.HasSubsetOf(pat(5, 0, 1, 2, 3, 4)) {
+		t.Fatal("empty tree found a subset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	tree.HasSubsetOf(make([]uint64, 3))
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewBuilder(0) },
+		func() { NewBuilder(10).Add(make([]uint64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShape(t *testing.T) {
+	b := NewBuilder(64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		var bits []int
+		for j := 0; j < 8; j++ {
+			bits = append(bits, rng.Intn(64))
+		}
+		b.Add(pat(64, bits...))
+	}
+	tree := b.Build()
+	st := tree.Shape()
+	if st.Patterns != 500 || st.Leaves == 0 || st.Inner == 0 {
+		t.Fatalf("degenerate shape: %+v", st)
+	}
+	if st.MaxDepth > 64 {
+		t.Fatalf("depth overflow: %+v", st)
+	}
+	if tree.PopcountOf(0) <= 0 {
+		t.Fatal("PopcountOf broken")
+	}
+}
+
+// Property: tree queries agree with a linear scan on random pattern
+// collections, with and without exclusions.
+func TestQuickAgainstLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const width = 100
+		n := 1 + rng.Intn(60)
+		b := NewBuilder(width)
+		pats := make([][]uint64, n)
+		for i := range pats {
+			var bits []int
+			k := 1 + rng.Intn(10)
+			for j := 0; j < k; j++ {
+				bits = append(bits, rng.Intn(width))
+			}
+			pats[i] = pat(width, bits...)
+			b.Add(pats[i])
+		}
+		tree := b.Build()
+		for trial := 0; trial < 20; trial++ {
+			var bits []int
+			k := rng.Intn(20)
+			for j := 0; j < k; j++ {
+				bits = append(bits, rng.Intn(width))
+			}
+			q := pat(width, bits...)
+			exA, exB := rng.Intn(n+2)-1, rng.Intn(n+2)-1 // may be -1 or out of range
+			want := false
+			count := 0
+			for i, p := range pats {
+				sub := true
+				for w := range p {
+					if p[w]&^q[w] != 0 {
+						sub = false
+						break
+					}
+				}
+				if sub {
+					count++
+					if i != exA && i != exB {
+						want = true
+					}
+				}
+			}
+			if tree.HasSubsetOfExcluding(q, exA, exB) != want {
+				return false
+			}
+			if tree.CountSubsetsOf(q) != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQuery1000Patterns(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const width = 64
+	bld := NewBuilder(width)
+	for i := 0; i < 1000; i++ {
+		var bits []int
+		for j := 0; j < 12; j++ {
+			bits = append(bits, rng.Intn(width))
+		}
+		bld.Add(pat(width, bits...))
+	}
+	tree := bld.Build()
+	q := pat(width, 1, 5, 9, 13, 17, 21, 25, 29, 33, 37, 41, 45, 49, 53)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.HasSubsetOfExcluding(q, 3, 7)
+	}
+}

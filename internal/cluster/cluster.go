@@ -1,0 +1,108 @@
+// Package cluster is the message-passing substrate underneath the
+// distributed-memory algorithms: an MPI-flavored communicator interface
+// with point-to-point sends and the collectives the combinatorial
+// parallel Nullspace Algorithm needs (allgather, barrier), plus exact
+// byte/message accounting.
+//
+// Two transports are provided. The in-process transport connects compute
+// nodes (goroutines) through buffered channels — the substitute for the
+// Blue Gene/P and InfiniBand fabrics of the paper's testbeds; messages
+// are real byte slices so communication volume is measured faithfully.
+// The TCP transport runs the same mesh over loopback sockets (package
+// net) for integration testing with genuine serialization boundaries.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Comm is one compute node's endpoint into the group. Implementations
+// are safe for use by that node's goroutine only.
+type Comm interface {
+	// Rank is this node's id, 0..Size()-1.
+	Rank() int
+	// Size is the number of nodes in the group.
+	Size() int
+	// Send delivers msg to the given node. The slice is owned by the
+	// receiver afterwards; the sender must not reuse it.
+	Send(to int, msg []byte) error
+	// Recv blocks for the next message from the given node. Messages
+	// from one sender arrive in order.
+	Recv(from int) ([]byte, error)
+	// Allgather distributes each node's payload to every node; the
+	// result is indexed by rank. Built on Send/Recv, so its traffic is
+	// accounted. All nodes must call it collectively.
+	Allgather(local []byte) ([][]byte, error)
+	// Barrier blocks until every node has entered it.
+	Barrier() error
+	// Close releases the endpoint. Pending receives fail.
+	Close() error
+
+	// Stats return this node's cumulative traffic.
+	BytesSent() int64
+	MessagesSent() int64
+}
+
+// counters is embedded by transports for traffic accounting.
+type counters struct {
+	bytes, msgs atomic.Int64
+}
+
+func (c *counters) account(n int) {
+	c.bytes.Add(int64(n))
+	c.msgs.Add(1)
+}
+
+// BytesSent returns the cumulative payload bytes sent by this node.
+func (c *counters) BytesSent() int64 { return c.bytes.Load() }
+
+// MessagesSent returns the cumulative message count sent by this node.
+func (c *counters) MessagesSent() int64 { return c.msgs.Load() }
+
+// allgather implements the collective on top of point-to-point sends:
+// every node sends its payload to every other node and receives theirs,
+// ordered by rank (the flat "personalized all-to-all" the paper's
+// Communicate&Merge step performs).
+func allgather(c Comm, local []byte) ([][]byte, error) {
+	size, rank := c.Size(), c.Rank()
+	out := make([][]byte, size)
+	out[rank] = local
+	for off := 1; off < size; off++ {
+		to := (rank + off) % size
+		if err := c.Send(to, local); err != nil {
+			return nil, fmt.Errorf("cluster: allgather send to %d: %w", to, err)
+		}
+	}
+	for off := 1; off < size; off++ {
+		from := (rank - off + size) % size
+		msg, err := c.Recv(from)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: allgather recv from %d: %w", from, err)
+		}
+		out[from] = msg
+	}
+	return out, nil
+}
+
+// barrier implements a barrier as an allgather of empty payloads.
+func barrier(c Comm) error {
+	_, err := c.Allgather(nil)
+	return err
+}
+
+// GroupStats aggregates traffic over a group of communicators.
+type GroupStats struct {
+	Bytes    int64
+	Messages int64
+}
+
+// StatsOf sums the traffic counters of a node group.
+func StatsOf(comms []Comm) GroupStats {
+	var g GroupStats
+	for _, c := range comms {
+		g.Bytes += c.BytesSent()
+		g.Messages += c.MessagesSent()
+	}
+	return g
+}

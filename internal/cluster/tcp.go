@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpComm is a communicator whose messages travel over loopback TCP
+// connections — a full serialization boundary, used to validate that the
+// distributed algorithm makes no shared-memory assumptions.
+type tcpComm struct {
+	counters
+	rank, size int
+	peers      []net.Conn // peers[r] carries traffic to/from rank r (nil for self)
+	inbox      []chan []byte
+	sendMu     []sync.Mutex
+	closeOnce  sync.Once
+	closed     chan struct{}
+	wg         sync.WaitGroup
+}
+
+// NewTCPGroup builds an n-node group connected by a full mesh of
+// loopback TCP connections and returns the communicators indexed by
+// rank. The group lives in this process (one goroutine mesh), but every
+// byte crosses a real socket.
+func NewTCPGroup(n int) ([]Comm, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive group size")
+	}
+	listeners := make([]net.Listener, n)
+	for r := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		listeners[r] = l
+	}
+	comms := make([]*tcpComm, n)
+	for r := 0; r < n; r++ {
+		comms[r] = &tcpComm{
+			rank:   r,
+			size:   n,
+			peers:  make([]net.Conn, n),
+			inbox:  make([]chan []byte, n),
+			sendMu: make([]sync.Mutex, n),
+			closed: make(chan struct{}),
+		}
+		for p := 0; p < n; p++ {
+			comms[r].inbox[p] = make(chan []byte, 64)
+		}
+	}
+	// Mesh construction: rank a dials rank b for a < b, announcing its
+	// rank in the first frame.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*n*n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			wg.Add(1)
+			go func(a, b int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", listeners[b].Addr().String())
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(a))
+				if _, err := conn.Write(hello[:]); err != nil {
+					errs <- err
+					return
+				}
+				comms[a].peers[b] = conn
+			}(a, b)
+		}
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for i := 0; i < b; i++ { // b accepts one conn from every lower rank
+				conn, err := listeners[b].Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errs <- err
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hello[:]))
+				comms[b].peers[from] = conn
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mesh setup: %w", err)
+		}
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	// Start reader pumps: one per connection, demuxing into the inbox.
+	for r := 0; r < n; r++ {
+		c := comms[r]
+		for p := 0; p < n; p++ {
+			if p == r {
+				continue
+			}
+			c.wg.Add(1)
+			go c.pump(p)
+		}
+	}
+	out := make([]Comm, n)
+	for r := range comms {
+		out[r] = comms[r]
+	}
+	return out, nil
+}
+
+func (c *tcpComm) pump(from int) {
+	defer c.wg.Done()
+	conn := c.peers[from]
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			close(c.inbox[from])
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			close(c.inbox[from])
+			return
+		}
+		select {
+		case c.inbox[from] <- msg:
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Send(to int, msg []byte) error {
+	if to < 0 || to >= c.size || to == c.rank {
+		return fmt.Errorf("cluster: send to invalid rank %d", to)
+	}
+	c.sendMu[to].Lock()
+	defer c.sendMu[to].Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.peers[to].Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.peers[to].Write(msg); err != nil {
+		return err
+	}
+	c.account(len(msg))
+	return nil
+}
+
+func (c *tcpComm) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= c.size || from == c.rank {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d", from)
+	}
+	select {
+	case msg, ok := <-c.inbox[from]:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-c.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (c *tcpComm) Allgather(local []byte) ([][]byte, error) {
+	return allgather(c, local)
+}
+
+func (c *tcpComm) Barrier() error { return barrier(c) }
+
+func (c *tcpComm) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		for _, conn := range c.peers {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+	return nil
+}

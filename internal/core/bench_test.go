@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"elmocomp/internal/linalg"
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+func yeastProblem(b *testing.B) *nullspace.Problem {
+	b.Helper()
+	red, err := reduce.Network(model.YeastI(), reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPairLoopYeast measures the candidate-generation hot loop on a
+// real mid-run iteration of Network I (the state after 20 iterations).
+func BenchmarkPairLoopYeast(b *testing.B) {
+	p := yeastProblem(b)
+	res, err := Run(p, Options{LastRow: p.D + 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := res.Modes
+	it := BeginRow(p, set, set.FirstRow(), Options{})
+	pairs := it.Pairs()
+	if pairs == 0 {
+		b.Skip("no pairs at this row")
+	}
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	b.ResetTimer()
+	var done int64
+	for done < int64(b.N) {
+		chunk := pairs
+		if remaining := int64(b.N) - done; remaining < chunk {
+			chunk = remaining
+		}
+		cands := it.NewCandidateSet()
+		var st IterStats
+		it.GenerateInto(cands, ws, 0, chunk, &st)
+		done += chunk
+	}
+	b.ReportMetric(float64(pairs), "pairs/row")
+}
+
+// BenchmarkRankTestYeast measures the elementarity test in isolation on
+// accepted candidates of a mid-run Network I iteration.
+func BenchmarkRankTestYeast(b *testing.B) {
+	p := yeastProblem(b)
+	res, err := Run(p, Options{LastRow: p.D + 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := res.Modes
+	if set.Len() == 0 {
+		b.Skip("empty set")
+	}
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := i % set.Len()
+		nullityIsOne(p, ws, set, m, set.SupportSize(m), linalg.DefaultTol, nil)
+	}
+}
+
+// BenchmarkSerialSynthetic runs the full algorithm on the deterministic
+// synthetic workload (end-to-end engine throughput).
+func BenchmarkSerialSynthetic(b *testing.B) {
+	n, err := synth.Network(synth.Params{
+		Layers: 4, Width: 4, CrossLinks: 8,
+		ReversibleFraction: 0.25, MaxCoef: 2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	red, err := reduce.Network(n, reduce.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Modes.Len()), "EFMs")
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures the Communicate&Merge wire codec on a
+// mid-run Network I mode set.
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := yeastProblem(b)
+	res, err := Run(p, Options{LastRow: p.D + 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := res.Modes
+	b.SetBytes(set.MemoryBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := set.Encode()
+		if _, err := DecodeModeSet(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encode serializes the mode set into a compact byte stream (little
+// endian): header (q, firstRow, revRows, n) followed by the flat bit
+// words and float64 values. This is the wire format of the
+// Communicate&Merge step — candidate sets travel between compute nodes
+// in exactly this form, so communication volume is measured faithfully.
+func (s *ModeSet) Encode() []byte {
+	nRev := len(s.revRows)
+	size := 4*4 + 4*nRev + len(s.bits)*8 + len(s.vals)*8
+	out := make([]byte, size)
+	o := 0
+	put32 := func(v int) {
+		binary.LittleEndian.PutUint32(out[o:], uint32(v))
+		o += 4
+	}
+	put32(s.q)
+	put32(s.firstRow)
+	put32(nRev)
+	put32(s.n)
+	for _, r := range s.revRows {
+		put32(r)
+	}
+	for _, w := range s.bits {
+		binary.LittleEndian.PutUint64(out[o:], w)
+		o += 8
+	}
+	for _, v := range s.vals {
+		binary.LittleEndian.PutUint64(out[o:], math.Float64bits(v))
+		o += 8
+	}
+	return out
+}
+
+// DecodeModeSet reconstructs a mode set from its Encode form.
+func DecodeModeSet(data []byte) (*ModeSet, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("core: mode-set payload truncated (%d bytes)", len(data))
+	}
+	o := 0
+	get32 := func() int {
+		v := int(int32(binary.LittleEndian.Uint32(data[o:])))
+		o += 4
+		return v
+	}
+	q := get32()
+	firstRow := get32()
+	nRev := get32()
+	n := get32()
+	if q < 0 || firstRow < 0 || firstRow > q || nRev < 0 || n < 0 {
+		return nil, fmt.Errorf("core: corrupt mode-set header (q=%d firstRow=%d nRev=%d n=%d)", q, firstRow, nRev, n)
+	}
+	if len(data) < 16+4*nRev {
+		return nil, fmt.Errorf("core: mode-set payload truncated in revRows")
+	}
+	revRows := make([]int, nRev)
+	for i := range revRows {
+		revRows[i] = get32()
+		if revRows[i] < 0 || revRows[i] >= q {
+			return nil, fmt.Errorf("core: corrupt revRow %d", revRows[i])
+		}
+	}
+	s := NewModeSet(q, firstRow, revRows)
+	nBits := n * s.words
+	nVals := n * s.stride()
+	want := o + 8*nBits + 8*nVals
+	if len(data) != want {
+		return nil, fmt.Errorf("core: mode-set payload is %d bytes, want %d", len(data), want)
+	}
+	s.bits = make([]uint64, nBits)
+	for i := range s.bits {
+		s.bits[i] = binary.LittleEndian.Uint64(data[o:])
+		o += 8
+	}
+	s.vals = make([]float64, nVals)
+	for i := range s.vals {
+		s.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[o:]))
+		o += 8
+	}
+	s.n = n
+	return s, nil
+}

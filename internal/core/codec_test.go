@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+)
+
+func buildSet(t *testing.T) (*nullspace.Problem, *ModeSet) {
+	t.Helper()
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, InitialModeSet(p, 1e-9)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p, set := buildSet(t)
+	// Run a couple of iterations so revRows and shifted tails exist.
+	res, err := Run(p, Options{LastRow: p.Q() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*ModeSet{set, res.Modes} {
+		data := s.Encode()
+		got, err := DecodeModeSet(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != s.Len() || got.Q() != s.Q() || got.FirstRow() != s.FirstRow() {
+			t.Fatalf("header mismatch: %d/%d/%d vs %d/%d/%d",
+				got.Len(), got.Q(), got.FirstRow(), s.Len(), s.Q(), s.FirstRow())
+		}
+		if len(got.RevRows()) != len(s.RevRows()) {
+			t.Fatalf("revRows mismatch")
+		}
+		for i := 0; i < s.Len(); i++ {
+			if !got.SameSupport(i, i) || got.CompareSupport(i, i) != 0 {
+				t.Fatal("self-comparison broken after decode")
+			}
+			gw, sw := got.BitsWords(i), s.BitsWords(i)
+			for w := range sw {
+				if gw[w] != sw[w] {
+					t.Fatalf("bits differ at mode %d", i)
+				}
+			}
+			gt, st := got.Tail(i), s.Tail(i)
+			for j := range st {
+				if gt[j] != st[j] {
+					t.Fatalf("tail differs at mode %d", i)
+				}
+			}
+			gr, sr := got.RevVals(i), s.RevVals(i)
+			for j := range sr {
+				if gr[j] != sr[j] {
+					t.Fatalf("rev vals differ at mode %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeEmptySet(t *testing.T) {
+	s := NewModeSet(10, 3, []int{1})
+	got, err := DecodeModeSet(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Q() != 10 || got.FirstRow() != 3 || len(got.RevRows()) != 1 {
+		t.Fatalf("empty set round trip: %+v", got)
+	}
+}
+
+func TestDecodeCorruptPayloads(t *testing.T) {
+	_, set := buildSet(t)
+	data := set.Encode()
+	cases := [][]byte{
+		nil,
+		data[:3],
+		data[:len(data)-1],
+		append(append([]byte{}, data...), 0),
+	}
+	for i, c := range cases {
+		if _, err := DecodeModeSet(c); err == nil {
+			t.Errorf("case %d: corrupt payload accepted", i)
+		}
+	}
+	// Negative / absurd header fields.
+	bad := append([]byte{}, data...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff // q = -1
+	if _, err := DecodeModeSet(bad); err == nil {
+		t.Error("negative q accepted")
+	}
+}
+
+func TestModeSetAccessors(t *testing.T) {
+	_, set := buildSet(t)
+	if set.TailLen() != set.Q()-set.FirstRow() {
+		t.Fatal("TailLen inconsistent")
+	}
+	if set.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes")
+	}
+	sup := set.Support(0)
+	if sup.Count() != set.SupportSize(0) {
+		t.Fatal("Support/SupportSize disagree")
+	}
+	idx := set.SupportIndices(0, nil)
+	if len(idx) != sup.Count() {
+		t.Fatal("SupportIndices count")
+	}
+	for _, r := range idx {
+		if !set.Test(0, r) {
+			t.Fatal("SupportIndices/Test disagree")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Test out of range did not panic")
+		}
+	}()
+	set.Test(0, set.Q())
+}
+
+func TestGrowPreservesContents(t *testing.T) {
+	_, set := buildSet(t)
+	before := set.Support(0)
+	set.Grow(1000)
+	if !set.Support(0).Equal(before) {
+		t.Fatal("Grow corrupted modes")
+	}
+}

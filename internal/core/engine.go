@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"elmocomp/internal/bptree"
+	"elmocomp/internal/linalg"
+	"elmocomp/internal/nullspace"
+)
+
+// TestKind selects the elementarity test applied to candidate modes.
+type TestKind int
+
+const (
+	// RankTest is the paper's algebraic test: a candidate is elementary
+	// iff the submatrix of N over its support has nullity exactly 1.
+	RankTest TestKind = iota
+	// CombinatorialTest is the double-description adjacency test: a
+	// candidate is elementary iff no other current column's support is a
+	// subset of the candidate's (implemented with a bit-pattern tree).
+	CombinatorialTest
+)
+
+// Options configure a Nullspace Algorithm run.
+type Options struct {
+	// Tol is the zero tolerance applied to normalized mode values;
+	// 0 means linalg.DefaultTol.
+	Tol float64
+	// Test selects the elementarity test (default RankTest).
+	Test TestKind
+	// LastRow, when positive, stops the iteration before processing
+	// permuted row LastRow (exclusive bound). Used by divide-and-conquer
+	// via Proposition 1. 0 means run to completion.
+	LastRow int
+	// MaxModes aborts the run with an error if an intermediate set
+	// exceeds this many columns (a memory guard). 0 means unlimited.
+	MaxModes int
+	// Trace, when set, is invoked after every iteration with the
+	// iteration statistics and the new mode set (used to print the
+	// paper's Figure 2 trace).
+	Trace func(it IterStats, set *ModeSet)
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return linalg.DefaultTol
+}
+
+// IterStats records one iteration of the algorithm.
+type IterStats struct {
+	Row            int // permuted kernel row processed
+	Reaction       int // reduced reaction index (Problem.Perm[Row])
+	Reversible     bool
+	Pos, Neg, Zero int   // column partition sizes
+	Pairs          int64 // candidate modes generated (|pos|·|neg|)
+	Prefiltered    int64 // rejected by the support-size pre-test
+	Tested         int64 // rank / superset tests run
+	Accepted       int64 // candidates surviving the test
+	Duplicates     int64 // removed duplicate candidates
+	ModesOut       int   // columns entering the next iteration
+	GenSeconds     float64
+	TestSeconds    float64
+	MergeSeconds   float64
+	PeakBytes      int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Problem *nullspace.Problem
+	// Modes is the final mode set: when the run completes (LastRow==0 or
+	// ==q), these are the elementary flux modes in permuted index space.
+	Modes *ModeSet
+	Stats []IterStats
+}
+
+// TotalPairs sums the candidate modes generated across iterations (the
+// paper's "total # candidate modes").
+func (r *Result) TotalPairs() int64 {
+	var t int64
+	for _, s := range r.Stats {
+		t += s.Pairs
+	}
+	return t
+}
+
+// PeakBytes returns the maximum resident mode-set payload observed.
+func (r *Result) PeakBytes() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if s.PeakBytes > m {
+			m = s.PeakBytes
+		}
+	}
+	return m
+}
+
+// InitialModeSet builds the iteration-0 mode set from the problem's
+// kernel matrix: one column per kernel basis vector. Tails cover the
+// pivot rows D..q-1 (the rows the iteration processes); the identity
+// block lives in the bit prefix only — its values are non-negative
+// combination coefficients throughout the run and can never cancel, so
+// bits suffice there (and the Problem guarantees identity rows are
+// irreversible reactions).
+func InitialModeSet(p *nullspace.Problem, tol float64) *ModeSet {
+	q, d := p.Q(), p.D
+	set := NewModeSet(q, p.D, nil)
+	tail := make([]float64, q-p.D)
+	for j := 0; j < d; j++ {
+		for i := p.D; i < q; i++ {
+			tail[i-p.D] = p.Kernel[i][j]
+		}
+		// Normalize: identity entry is 1, so include it in the scale.
+		maxAbs := 1.0
+		for _, v := range tail {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := 1 / maxAbs
+		for i := range tail {
+			tail[i] *= scale
+		}
+		idx := set.AppendMode(nil, tail, nil, tol)
+		// Identity block support: basis vector j has 1 at permuted row j.
+		setBit(set.BitsWords(idx), j, true)
+	}
+	return set
+}
+
+// Run executes the serial Nullspace Algorithm (Algorithm 1).
+func Run(p *nullspace.Problem, opts Options) (*Result, error) {
+	if opts.Test == CombinatorialTest {
+		for _, r := range p.Rev {
+			if r {
+				return nil, fmt.Errorf("core: the combinatorial adjacency test is only sound on a pointed flux cone; prepare the problem with Heuristics.SplitAllReversible")
+			}
+		}
+	}
+	set := InitialModeSet(p, opts.tol())
+	last := opts.LastRow
+	if last <= 0 || last > p.Q() {
+		last = p.Q()
+	}
+	res := &Result{Problem: p, Modes: set}
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	for row := p.D; row < last; row++ {
+		it := BeginRow(p, set, row, opts)
+		cands := it.NewCandidateSet()
+		it.GenerateInto(cands, ws, 0, it.Pairs(), &it.Stats)
+		next, err := it.AssembleNext(cands)
+		if err != nil {
+			return nil, err
+		}
+		set = next
+		res.Modes = set
+		res.Stats = append(res.Stats, it.Stats)
+		if opts.Trace != nil {
+			opts.Trace(it.Stats, set)
+		}
+	}
+	return res, nil
+}
+
+// RowIter holds the state of one iteration (processing one kernel row).
+// It is exported so the distributed drivers (packages parallel and dnc)
+// can slice candidate generation across compute nodes while reusing the
+// exact same kernel operations.
+type RowIter struct {
+	Problem        *nullspace.Problem
+	Set            *ModeSet
+	Row            int
+	Reversible     bool
+	Pos, Neg, Zero []int
+	Stats          IterStats
+
+	opts    Options
+	nextRev []int        // revRows of the next iteration's sets
+	tree    *bptree.Tree // adjacency tree (CombinatorialTest only)
+}
+
+// BeginRow partitions the current columns by their sign in the given
+// permuted row.
+func BeginRow(p *nullspace.Problem, set *ModeSet, row int, opts Options) *RowIter {
+	if row != set.FirstRow() {
+		panic(fmt.Sprintf("core: BeginRow(%d) on set with FirstRow %d", row, set.FirstRow()))
+	}
+	it := &RowIter{
+		Problem:    p,
+		Set:        set,
+		Row:        row,
+		Reversible: p.Rev[row],
+		opts:       opts,
+	}
+	tol := opts.tol()
+	for i := 0; i < set.Len(); i++ {
+		v := set.Tail(i)[0]
+		switch {
+		case v > tol:
+			it.Pos = append(it.Pos, i)
+		case v < -tol:
+			it.Neg = append(it.Neg, i)
+		default:
+			it.Zero = append(it.Zero, i)
+		}
+	}
+	it.nextRev = set.RevRows()
+	if it.Reversible {
+		it.nextRev = append(append([]int(nil), set.RevRows()...), row)
+	}
+	it.Stats = IterStats{
+		Row:        row,
+		Reaction:   p.Perm[row],
+		Reversible: it.Reversible,
+		Pos:        len(it.Pos),
+		Neg:        len(it.Neg),
+		Zero:       len(it.Zero),
+	}
+	if opts.Test == CombinatorialTest && len(it.Pos) > 0 && len(it.Neg) > 0 {
+		b := bptree.NewBuilder(set.Q())
+		for i := 0; i < set.Len(); i++ {
+			b.Add(set.BitsWords(i))
+		}
+		it.tree = b.Build()
+	}
+	return it
+}
+
+// Pairs returns the number of candidate combinations this row generates.
+func (it *RowIter) Pairs() int64 {
+	return int64(len(it.Pos)) * int64(len(it.Neg))
+}
+
+// NewCandidateSet returns an empty mode set with the layout of the next
+// iteration, for candidates produced by GenerateInto.
+func (it *RowIter) NewCandidateSet() *ModeSet {
+	return NewModeSet(it.Set.Q(), it.Row+1, it.nextRev)
+}
+
+// GenerateInto produces the candidate modes for pair indices [from, to)
+// — pair k combines Pos[k/len(Neg)] with Neg[k%len(Neg)] — applying the
+// support-size pre-test and the configured elementarity test, and appends
+// survivors to cands. Statistics accumulate into st. Distinct slices of
+// the pair space may be generated concurrently into distinct
+// (cands, ws, st) triples; the RowIter itself is read-only here.
+func (it *RowIter) GenerateInto(cands *ModeSet, ws *linalg.Workspace, from, to int64, st *IterStats) {
+	if len(it.Neg) == 0 || len(it.Pos) == 0 || from >= to {
+		return
+	}
+	t0 := time.Now()
+	tol := it.opts.tol()
+	set := it.Set
+	m := it.Problem.M()
+	words := set.words
+	maxSupport := m + 1
+	// Tighter pre-filter on the already-processed prefix (rows 0..Row):
+	// an intermediate extreme ray's tight constraint set must leave a
+	// one-dimensional kernel, which bounds the support restricted to the
+	// identity block plus processed rows by (#processed + 1). The union
+	// estimate ignores (rare, non-generic) cancellations in processed
+	// reversible rows — the same genericity assumption every floating
+	// point implementation of the candidate filters makes; the exact
+	// bound is re-applied after the numeric combination.
+	prefixBound := it.Row - it.Problem.D + 2
+	prefixMask := make([]uint64, words)
+	for r := 0; r <= it.Row; r++ {
+		prefixMask[r/64] |= 1 << uint(r%64)
+	}
+
+	tailLen := set.TailLen()
+	newTail := make([]float64, tailLen-1)
+	newRev := make([]float64, len(it.nextRev))
+	orWords := make([]uint64, words)
+	supportIdx := make([]int, 0, maxSupport+4)
+
+	var testSeconds float64
+	var sampledTests, timedTests int64
+	nNeg := int64(len(it.Neg))
+	bits := set.bits
+	rowWord, rowBit := it.Row/64, uint64(1)<<uint(it.Row%64)
+
+	kp := int(from / nNeg)
+	kn := int(from % nNeg)
+	remaining := to - from
+	for ; kp < len(it.Pos) && remaining > 0; kp++ {
+		pi := it.Pos[kp]
+		bp := bits[pi*words : pi*words+words]
+		tp := set.Tail(pi)
+		rp := set.RevVals(pi)
+		beta := tp[0]
+		for ; kn < len(it.Neg) && remaining > 0; kn++ {
+			remaining--
+			ni := it.Neg[kn]
+			bn := bits[ni*words : ni*words+words]
+			// Cheap support pre-tests on the parents' union (the union
+			// includes the current row, zero in the candidate).
+			prefixCount := 0
+			total := 0
+			for w := 0; w < words; w++ {
+				u := bp[w] | bn[w]
+				orWords[w] = u
+				total += popcount(u)
+				prefixCount += popcount(u & prefixMask[w])
+			}
+			if total-1 > maxSupport || prefixCount-1 > prefixBound {
+				st.Prefiltered++
+				continue
+			}
+			if it.tree != nil {
+				// Combinatorial adjacency test on the parents' support
+				// union: any third column whose support fits inside it
+				// proves the pair non-adjacent. Bits only — run before
+				// the numeric combination.
+				tTest := time.Now()
+				st.Tested++
+				hit := it.tree.HasSubsetOfExcluding(orWords, pi, ni)
+				testSeconds += time.Since(tTest).Seconds()
+				if hit {
+					continue
+				}
+			}
+			tn := set.Tail(ni)
+			alpha := -tn[0] // positive
+			// Values below clamp are cancellation residue, not signal:
+			// mode values are normalized to ≤1 in magnitude, so a
+			// genuine entry of the combination has magnitude on the
+			// order of α or β. Clamping BEFORE normalization matters:
+			// if every remaining coordinate cancels, normalizing by the
+			// largest residue would amplify noise into fabricated
+			// support.
+			clamp := tol * (alpha + beta)
+			maxAbs := 0.0
+			for j := 1; j < tailLen; j++ {
+				v := alpha*tp[j] + beta*tn[j]
+				if math.Abs(v) < clamp {
+					v = 0
+				}
+				newTail[j-1] = v
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			rn := set.RevVals(ni)
+			for j := range rp {
+				v := alpha*rp[j] + beta*rn[j]
+				if math.Abs(v) < clamp {
+					v = 0
+				}
+				newRev[j] = v
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if it.Reversible {
+				newRev[len(newRev)-1] = 0
+			}
+			if maxAbs > 0 {
+				scale := 1 / maxAbs
+				for j := range newTail {
+					newTail[j] *= scale
+				}
+				for j := range newRev {
+					newRev[j] *= scale
+				}
+			}
+			orWords[rowWord] &^= rowBit
+			idx := cands.AppendMode(orWords, newTail, newRev, tol)
+			// Exact support counts (cancellations included).
+			s := 0
+			sPrefix := 0
+			cw := cands.BitsWords(idx)
+			for w := 0; w < words; w++ {
+				s += popcount(cw[w])
+				sPrefix += popcount(cw[w] & prefixMask[w])
+			}
+			if s == 0 || s > maxSupport || sPrefix > prefixBound {
+				cands.truncateLast()
+				st.Prefiltered++
+				continue
+			}
+			if it.tree == nil {
+				// Algebraic rank test (the paper's default): the
+				// support submatrix of N must have nullity exactly 1.
+				// Timing is sampled (1 in 64) to keep time.Now() off
+				// the hot path.
+				st.Tested++
+				sample := st.Tested&63 == 0
+				var tTest time.Time
+				if sample {
+					tTest = time.Now()
+				}
+				ok := nullityIsOne(it.Problem, ws, cands, idx, s, tol, supportIdx[:0])
+				if sample {
+					testSeconds += time.Since(tTest).Seconds()
+					sampledTests++
+				}
+				timedTests++
+				if !ok {
+					cands.truncateLast()
+					continue
+				}
+			}
+			st.Accepted++
+		}
+		kn = 0
+	}
+	if sampledTests > 0 {
+		testSeconds *= float64(timedTests) / float64(sampledTests)
+	}
+	// The sampled extrapolation can exceed the measured total on tiny
+	// workloads; keep the split non-negative.
+	total := time.Since(t0).Seconds()
+	if testSeconds > total {
+		testSeconds = total
+	}
+	st.Pairs += to - from
+	st.TestSeconds += testSeconds
+	st.GenSeconds += total - testSeconds
+}
+
+// AssembleNext merges the surviving old columns with the deduplicated
+// candidates from one or more candidate sets (one per compute node in the
+// distributed drivers) into the next iteration's mode set.
+func (it *RowIter) AssembleNext(candSets ...*ModeSet) (*ModeSet, error) {
+	t0 := time.Now()
+	next := NewModeSet(it.Set.Q(), it.Row+1, it.nextRev)
+	survivors := len(it.Zero) + len(it.Pos)
+	if it.Reversible {
+		survivors += len(it.Neg)
+	}
+	total := survivors
+	for _, cs := range candSets {
+		total += cs.Len()
+	}
+	next.Grow(total)
+	// Survivor supports, hashed, so candidates that re-derive a kept ray
+	// can be dropped: a rank-passed candidate's support submatrix has a
+	// one-dimensional kernel, so any kept column with the same support
+	// is necessarily the same ray. (Under the combinatorial test such
+	// collisions are rejected by the tree query already.)
+	survivorIdx := make(map[uint64][]int)
+	addSurvivor := func(src int) {
+		j := next.appendShifted(it.Set, src, it.Reversible)
+		survivorIdx[hashWords(next.BitsWords(j))] = append(survivorIdx[hashWords(next.BitsWords(j))], j)
+	}
+	for _, i := range it.Zero {
+		addSurvivor(i)
+	}
+	for _, i := range it.Pos {
+		addSurvivor(i)
+	}
+	if it.Reversible {
+		for _, i := range it.Neg {
+			addSurvivor(i)
+		}
+	}
+
+	// Global candidate deduplication by support (the paper's
+	// Sort&RemoveDuplicates; across sets this is the merge half of
+	// Communicate&Merge).
+	type ref struct{ set, idx int }
+	var refs []ref
+	for si, cs := range candSets {
+		for i := 0; i < cs.Len(); i++ {
+			refs = append(refs, ref{si, i})
+		}
+	}
+	cmp := func(a, b ref) int {
+		wa := candSets[a.set].BitsWords(a.idx)
+		wb := candSets[b.set].BitsWords(b.idx)
+		for k := len(wa) - 1; k >= 0; k-- {
+			switch {
+			case wa[k] < wb[k]:
+				return -1
+			case wa[k] > wb[k]:
+				return 1
+			}
+		}
+		return 0
+	}
+	sort.Slice(refs, func(a, b int) bool { return cmp(refs[a], refs[b]) < 0 })
+	for i, r := range refs {
+		if i > 0 && cmp(refs[i-1], r) == 0 {
+			it.Stats.Duplicates++
+			continue
+		}
+		words := candSets[r.set].BitsWords(r.idx)
+		dup := false
+		for _, j := range survivorIdx[hashWords(words)] {
+			if equalWords(words, next.BitsWords(j)) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			it.Stats.Duplicates++
+			continue
+		}
+		next.CopyModeFrom(candSets[r.set], r.idx)
+	}
+	it.Stats.ModesOut = next.Len()
+	it.Stats.MergeSeconds += time.Since(t0).Seconds()
+	it.Stats.PeakBytes = next.MemoryBytes() + it.Set.MemoryBytes()
+	if it.opts.MaxModes > 0 && next.Len() > it.opts.MaxModes {
+		return nil, fmt.Errorf("core: row %d produced %d modes, exceeding the %d-mode budget",
+			it.Row, next.Len(), it.opts.MaxModes)
+	}
+	return next, nil
+}
+
+// IsElementary runs the exact-support algebraic rank test on mode i of
+// the set: true iff the stoichiometric submatrix over the mode's support
+// has nullity exactly one. Exposed for the divide-and-conquer driver,
+// which must re-validate extracted columns at its early stop point (the
+// narrowed mid-run test admits columns the remaining iterations would
+// have eliminated). Not for hot paths — it allocates a workspace.
+func IsElementary(p *nullspace.Problem, set *ModeSet, i int, tol float64) bool {
+	if tol <= 0 {
+		tol = linalg.DefaultTol
+	}
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	return nullityIsOne(p, ws, set, i, set.SupportSize(i), tol, nil)
+}
+
+// nullityIsOne decides whether the support submatrix of N over mode
+// idx's support has nullity exactly one — the algebraic rank test — by
+// the cheaper of two equivalent formulations: directly on the m×s
+// stoichiometric submatrix, or on the complement rows of the initial
+// kernel basis, using the identity
+//
+//	nullity(N[:,S]) = D − rank(Kernel[rows ∉ S, :]).
+//
+// Both paths eliminate with an early exit as soon as a second rank
+// deficiency appears (most failing candidates are heavily deficient).
+func nullityIsOne(p *nullspace.Problem, ws *linalg.Workspace, cands *ModeSet, idx, s int, tol float64, scratch []int) bool {
+	q, m, d := p.Q(), p.M(), p.D
+	comp := q - s
+	directCost := m * s * minInt(m, s)
+	kernelCost := comp * d * minInt(comp, d)
+	words := cands.BitsWords(idx)
+	if kernelCost <= directCost {
+		buf := ws.Buffer(comp, d)
+		o := 0
+		for r := 0; r < q; r++ {
+			if words[r/64]&(1<<uint(r%64)) != 0 {
+				continue
+			}
+			copy(buf[o:o+d], p.KernelRows[r*d:(r+1)*d])
+			o += d
+		}
+		exceeds, def := linalg.RankDeficiencyExceeds(buf, comp, d, tol, 1)
+		return !exceeds && def == 1
+	}
+	support := cands.SupportIndices(idx, scratch)
+	buf := ws.Buffer(m, s)
+	for jj, col := range support {
+		c := p.N.Col(col)
+		for i := 0; i < m; i++ {
+			buf[i*s+jj] = c[i]
+		}
+	}
+	exceeds, def := linalg.RankDeficiencyExceeds(buf, m, s, tol, 1)
+	return !exceeds && def == 1
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func hashWords(words []uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, w := range words {
+		h = (h ^ w) * prime
+	}
+	return h
+}
+
+func equalWords(a, b []uint64) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeStats folds per-node generation statistics into the iteration's
+// aggregate (used by the distributed drivers).
+func (it *RowIter) MergeStats(parts ...*IterStats) {
+	for _, p := range parts {
+		it.Stats.Pairs += p.Pairs
+		it.Stats.Prefiltered += p.Prefiltered
+		it.Stats.Tested += p.Tested
+		it.Stats.Accepted += p.Accepted
+		it.Stats.GenSeconds += p.GenSeconds
+		it.Stats.TestSeconds += p.TestSeconds
+	}
+}

@@ -1,0 +1,412 @@
+// Package dnc implements the combined parallel Nullspace Algorithm
+// (Algorithm 3 of the paper): divide-and-conquer partitioning of the
+// elementary-flux-mode set composed with the combinatorial parallel
+// algorithm.
+//
+// A subset of qsub partition reactions splits the EFM set into 2^qsub
+// disjoint classes by the zero/non-zero flux pattern on those reactions.
+// For class k, reactions that must carry zero flux are removed from the
+// stoichiometry; the kernel is recomputed with the must-be-non-zero
+// reactions forced into the last pivot rows; the parallel Nullspace
+// Algorithm runs only up to iteration q−|nzf| (Proposition 1); and the
+// intermediate columns with non-zero flux in every must-be-non-zero row
+// are exactly the class's EFMs. Subproblems are independent, so peak
+// memory drops and — empirically — so does the cumulative number of
+// intermediate candidates (Tables III and IV).
+//
+// When a subproblem exceeds its mode budget, it is re-split by appending
+// one more partition reaction (the paper's Network II treatment, where
+// subsets 1 and 3 of {R54r, R90r, R60r} were re-split by R22r).
+package dnc
+
+import (
+	"fmt"
+	"sort"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/core"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/parallel"
+	"elmocomp/internal/ratmat"
+)
+
+// Options configure a divide-and-conquer run.
+type Options struct {
+	// Parallel configures the inner combinatorial parallel algorithm
+	// (node count, elementarity test, tolerance). Core.LastRow is
+	// managed by this driver and must be zero. Core.MaxModes, when set,
+	// is the per-subproblem intermediate budget that triggers adaptive
+	// re-splitting.
+	Parallel parallel.Options
+	// Partition lists the partition reactions as column indices of the
+	// input matrix. Empty means: choose Qsub reactions automatically
+	// (the last pivot rows of the full problem's reordered kernel, the
+	// paper's choice).
+	Partition []int
+	// Qsub is the partition size for automatic selection (default 2).
+	Qsub int
+	// MaxDepth bounds adaptive re-splitting recursion (default 3).
+	MaxDepth int
+	// Progress, when set, is called as each subproblem finishes.
+	Progress func(sub *Subproblem)
+}
+
+// Subproblem describes one divide-and-conquer class and its outcome.
+type Subproblem struct {
+	ID        uint64 // bit i set ⇔ Partition[i] must carry non-zero flux
+	Partition []int  // partition reactions (input column indices)
+	Depth     int
+
+	// EFM results: canonical supports over the input columns.
+	Supports []bitset.Set
+	// Pairs is the subproblem's candidate-mode count (the paper's
+	// per-subset "# candidate modes").
+	Pairs int64
+	// PeakNodeBytes is the largest per-node mode-set payload.
+	PeakNodeBytes int64
+	// Phases are the inner parallel run's critical-path phase times.
+	Phases parallel.PhaseTimes
+	// Children holds the re-split subproblems when the budget was
+	// exceeded (Supports is then nil at this level).
+	Children []*Subproblem
+	// Skipped marks classes proven empty without running (a
+	// must-be-non-zero reaction cannot carry flux at all).
+	Skipped bool
+	// Unresolved marks classes that exceeded the mode budget at the
+	// re-split depth limit: their EFMs were NOT computed. Callers doing
+	// budgeted explorations (the Table IV simulation) check this flag;
+	// Result.Complete reports whether any class was left unresolved.
+	Unresolved bool
+}
+
+// EFMCount counts the EFMs in this subproblem, including children.
+func (s *Subproblem) EFMCount() int {
+	n := len(s.Supports)
+	for _, c := range s.Children {
+		n += c.EFMCount()
+	}
+	return n
+}
+
+// TotalPairs sums candidate counts, including children.
+func (s *Subproblem) TotalPairs() int64 {
+	t := s.Pairs
+	for _, c := range s.Children {
+		t += c.TotalPairs()
+	}
+	return t
+}
+
+// Result is the outcome of a divide-and-conquer run.
+type Result struct {
+	Partition   []int
+	Subproblems []*Subproblem
+	// Supports is the union of all subproblem EFM supports, sorted.
+	Supports []bitset.Set
+}
+
+// Complete reports whether every class was fully enumerated (no
+// Unresolved leaves).
+func (r *Result) Complete() bool {
+	complete := true
+	var walk func(s *Subproblem)
+	walk = func(s *Subproblem) {
+		if s.Unresolved {
+			complete = false
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range r.Subproblems {
+		walk(s)
+	}
+	return complete
+}
+
+// TotalPairs sums the candidate counts over every subproblem (the
+// paper's cumulative "total # candidate modes").
+func (r *Result) TotalPairs() int64 {
+	var t int64
+	for _, s := range r.Subproblems {
+		t += s.TotalPairs()
+	}
+	return t
+}
+
+// PeakNodeBytes is the largest per-node memory any subproblem needed —
+// the quantity divide-and-conquer exists to bound (§IV-B).
+func (r *Result) PeakNodeBytes() int64 {
+	var m int64
+	var walk func(s *Subproblem)
+	walk = func(s *Subproblem) {
+		if s.PeakNodeBytes > m {
+			m = s.PeakNodeBytes
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range r.Subproblems {
+		walk(s)
+	}
+	return m
+}
+
+// Run executes Algorithm 3 on a reduced stoichiometry (full row rank)
+// with the given reversibility flags.
+func Run(N *ratmat.Matrix, rev []bool, opts Options) (*Result, error) {
+	if opts.Parallel.Core.LastRow != 0 {
+		return nil, fmt.Errorf("dnc: Parallel.Core.LastRow is managed by the driver")
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 3
+	}
+	partition := opts.Partition
+	if len(partition) == 0 {
+		qsub := opts.Qsub
+		if qsub <= 0 {
+			qsub = 2
+		}
+		var err error
+		partition, err = AutoPartition(N, rev, qsub)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range partition {
+		if j < 0 || j >= N.Cols() {
+			return nil, fmt.Errorf("dnc: partition column %d out of range", j)
+		}
+	}
+
+	res := &Result{Partition: partition}
+	for id := uint64(0); id < 1<<uint(len(partition)); id++ {
+		sub, err := solve(N, rev, partition, id, 0, opts)
+		if err != nil {
+			return nil, fmt.Errorf("dnc: subset %d: %w", id, err)
+		}
+		res.Subproblems = append(res.Subproblems, sub)
+		var collect func(s *Subproblem)
+		collect = func(s *Subproblem) {
+			res.Supports = append(res.Supports, s.Supports...)
+			for _, c := range s.Children {
+				collect(c)
+			}
+		}
+		collect(sub)
+	}
+	sort.Slice(res.Supports, func(a, b int) bool {
+		return res.Supports[a].Compare(res.Supports[b]) < 0
+	})
+	return res, nil
+}
+
+// AutoPartition picks the last qsub pivot rows of the full problem's
+// reordered kernel (the paper's choice: "the last three reactions in the
+// reordered nullspace matrix").
+func AutoPartition(N *ratmat.Matrix, rev []bool, qsub int) ([]int, error) {
+	p, err := nullspace.New(N, rev, nullspace.Heuristics{})
+	if err != nil {
+		return nil, err
+	}
+	if qsub >= p.Q()-p.D {
+		return nil, fmt.Errorf("dnc: qsub %d must be smaller than the %d pivot rows", qsub, p.Q()-p.D)
+	}
+	var cols []int
+	for i := p.Q() - qsub; i < p.Q(); i++ {
+		c := p.OrigCol(p.Perm[i])
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols, nil
+}
+
+// solve handles one zero/non-zero class, re-splitting on budget errors.
+func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, opts Options) (*Subproblem, error) {
+	sub := &Subproblem{ID: id, Partition: append([]int(nil), partition...), Depth: depth}
+
+	var zf, nzf []int
+	for i, col := range partition {
+		if id&(1<<uint(i)) != 0 {
+			nzf = append(nzf, col)
+		} else {
+			zf = append(zf, col)
+		}
+	}
+
+	// Build the class stoichiometry: drop must-be-zero columns.
+	drop := make(map[int]bool, len(zf))
+	for _, c := range zf {
+		drop[c] = true
+	}
+	var keep []int
+	for j := 0; j < N.Cols(); j++ {
+		if !drop[j] {
+			keep = append(keep, j)
+		}
+	}
+	Ni := N.SelectColumns(keep)
+	// Removing columns may lower the row rank; keep an independent row
+	// subset so preparation succeeds.
+	indep := Ni.IndependentRows()
+	if len(indep) < Ni.Rows() {
+		Ni = Ni.SelectRows(indep)
+	}
+	revi := make([]bool, len(keep))
+	nzfLocal := make([]int, 0, len(nzf))
+	for jj, j := range keep {
+		revi[jj] = rev[j]
+		for _, c := range nzf {
+			if c == j {
+				nzfLocal = append(nzfLocal, jj)
+			}
+		}
+	}
+
+	p, err := nullspace.New(Ni, revi, nullspace.Heuristics{ForceLast: nzfLocal})
+	if err != nil {
+		// A trivial kernel means the class admits no flux at all.
+		sub.Skipped = true
+		return sub, nil
+	}
+
+	copts := opts.Parallel
+	copts.Core.LastRow = p.Q() - len(nzfLocal)
+	run, err := parallel.Run(p, copts)
+	if err != nil {
+		if opts.Parallel.Core.MaxModes > 0 {
+			if depth < opts.MaxDepth {
+				return resplit(N, rev, partition, id, depth, opts, sub)
+			}
+			// Budget exhausted at the depth limit: report the class as
+			// unresolved instead of failing the whole run, so budgeted
+			// explorations (the Table IV simulation) degrade gracefully.
+			sub.Unresolved = true
+			if opts.Progress != nil {
+				opts.Progress(sub)
+			}
+			return sub, nil
+		}
+		return nil, err
+	}
+	sub.Pairs = run.TotalPairs()
+	sub.PeakNodeBytes = run.PeakNodeBytes
+	sub.Phases = run.MaxPhases()
+	sub.Supports = extract(run.Result, p, keep, nzfLocal, N.Cols())
+	if opts.Progress != nil {
+		opts.Progress(sub)
+	}
+	return sub, nil
+}
+
+// resplit extends the partition by one more reaction and solves the two
+// refined classes.
+func resplit(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, opts Options, sub *Subproblem) (*Subproblem, error) {
+	extra, err := nextPartitionReaction(N, rev, partition)
+	if err != nil {
+		return nil, err
+	}
+	wider := append(append([]int(nil), partition...), extra)
+	for bit := uint64(0); bit < 2; bit++ {
+		child, err := solve(N, rev, wider, id|bit<<uint(len(partition)), depth+1, opts)
+		if err != nil {
+			return nil, err
+		}
+		sub.Children = append(sub.Children, child)
+	}
+	return sub, nil
+}
+
+// nextPartitionReaction picks the refinement reaction: the last pivot
+// row of the full reordered kernel not already in the partition (the
+// paper extended {R54r,R90r,R60r} by R22r, its next-to-last row).
+func nextPartitionReaction(N *ratmat.Matrix, rev []bool, partition []int) (int, error) {
+	p, err := nullspace.New(N, rev, nullspace.Heuristics{ForceLast: partition})
+	if err != nil {
+		return -1, err
+	}
+	in := make(map[int]bool, len(partition))
+	for _, c := range partition {
+		in[c] = true
+	}
+	for i := p.Q() - 1; i >= p.D; i-- {
+		c := p.OrigCol(p.Perm[i])
+		if !in[c] {
+			return c, nil
+		}
+	}
+	return -1, fmt.Errorf("dnc: no reaction left to refine the partition")
+}
+
+// extract applies Proposition 1: keep intermediate columns with non-zero
+// flux in every must-be-non-zero row, then map supports back to the full
+// input column space (must-be-zero reactions contribute zero rows).
+func extract(run *core.Result, p *nullspace.Problem, keep []int, nzfLocal []int, fullQ int) []bitset.Set {
+	set := run.Modes
+	inv := p.InvPerm()
+	// Permuted row indices that must be non-zero. With splitting, a
+	// partition reaction could be represented by several problem
+	// columns; ForceLast guarantees partition columns are pivots (never
+	// split), so the map is one-to-one.
+	var mustRows []int
+	for _, jj := range nzfLocal {
+		for c := 0; c < p.Q(); c++ {
+			if p.OrigCol(c) == jj {
+				mustRows = append(mustRows, inv[c])
+			}
+		}
+	}
+	var out []bitset.Set
+	seen := make(map[uint64][]int)
+	for i := 0; i < set.Len(); i++ {
+		ok := true
+		for _, r := range mustRows {
+			if !set.Test(i, r) {
+				ok = false
+				break
+			}
+			// Sign feasibility: a negative value in an irreversible
+			// must-be-non-zero row marks a column the skipped
+			// iterations would have removed.
+			if !p.Rev[r] && set.Tail(i)[r-set.FirstRow()] < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Exact elementarity: all unprocessed rows are in the support
+		// here, so the full-support rank test is the precise EFM
+		// condition (the mid-run test is narrower and can let columns
+		// through that later iterations would have eliminated; initial
+		// kernel basis columns were never tested at all).
+		if !core.IsElementary(p, set, i, 0) {
+			continue
+		}
+		b := bitset.New(fullQ)
+		for _, permIdx := range set.SupportIndices(i, nil) {
+			b.Set(keep[p.OrigCol(p.Perm[permIdx])])
+		}
+		// Split folding can fabricate singleton futile pairs and ±
+		// duplicates; apply the same canonical rules as core.
+		if p.Split != nil && set.SupportSize(i) == 2 && b.Count() == 1 {
+			continue
+		}
+		h := b.Hash()
+		dup := false
+		for _, j := range seen[h] {
+			if out[j].Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], len(out))
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package linalg provides the dense float64 routines used on the hot path
+// of the Nullspace Algorithm: rank computation by Gaussian elimination with
+// partial pivoting, with a reusable workspace so the per-candidate
+// algebraic rank test performs no allocation.
+//
+// The paper notes the rank of the support submatrix "must be computed by
+// using a numerical algorithm such as the LU, QR or SVD"; partial-pivoted
+// LU-style elimination is what efmtool and the authors' elmocomp release
+// use in practice. Exact rational cross-checks live in package ratmat.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the relative pivot tolerance used by the rank test when the
+// caller does not override it. Entries whose magnitude falls below
+// DefaultTol × (largest magnitude in the matrix) are treated as zero.
+const DefaultTol = 1e-9
+
+// Rank returns the numerical rank of the row-major rows×cols matrix a,
+// using Gaussian elimination with partial pivoting and the relative
+// tolerance tol (DefaultTol if tol <= 0). The contents of a are destroyed.
+func Rank(a []float64, rows, cols int, tol float64) int {
+	if len(a) < rows*cols {
+		panic(fmt.Sprintf("linalg: buffer %d too small for %dx%d", len(a), rows, cols))
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	// Scale threshold by the largest entry so the test is invariant
+	// under uniform scaling of the matrix.
+	maxAbs := 0.0
+	for i := 0; i < rows*cols; i++ {
+		if v := math.Abs(a[i]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	thresh := tol * maxAbs
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		// Partial pivoting: largest magnitude in the column at or
+		// below the current elimination row.
+		pivRow, pivVal := -1, thresh
+		for i := rank; i < rows; i++ {
+			if v := math.Abs(a[i*cols+col]); v > pivVal {
+				pivRow, pivVal = i, v
+			}
+		}
+		if pivRow < 0 {
+			continue // column already (numerically) eliminated
+		}
+		if pivRow != rank {
+			for k := col; k < cols; k++ {
+				a[rank*cols+k], a[pivRow*cols+k] = a[pivRow*cols+k], a[rank*cols+k]
+			}
+		}
+		p := a[rank*cols+col]
+		for i := rank + 1; i < rows; i++ {
+			f := a[i*cols+col] / p
+			if f == 0 {
+				continue
+			}
+			a[i*cols+col] = 0
+			for k := col + 1; k < cols; k++ {
+				a[i*cols+k] -= f * a[rank*cols+k]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Workspace is a reusable scratch buffer for repeated rank tests of
+// submatrices gathered from a fixed parent matrix. It is not safe for
+// concurrent use; each worker goroutine owns one.
+type Workspace struct {
+	buf []float64
+}
+
+// NewWorkspace returns a workspace able to hold a rows×cols matrix.
+func NewWorkspace(rows, cols int) *Workspace {
+	return &Workspace{buf: make([]float64, rows*cols)}
+}
+
+// Buffer returns a rows×cols scratch slice, growing the backing store if
+// needed. The contents are unspecified.
+func (w *Workspace) Buffer(rows, cols int) []float64 {
+	n := rows * cols
+	if cap(w.buf) < n {
+		w.buf = make([]float64, n)
+	}
+	return w.buf[:n]
+}
+
+// ColMajor is a column-major snapshot of a matrix, laid out so that
+// gathering a subset of columns (the rank test's access pattern) is a
+// sequence of contiguous copies.
+type ColMajor struct {
+	rows, cols int
+	data       []float64 // column-major: data[c*rows+r]
+}
+
+// NewColMajor builds a column-major copy of the row-major matrix a.
+func NewColMajor(a [][]float64) *ColMajor {
+	rows := len(a)
+	cols := 0
+	if rows > 0 {
+		cols = len(a[0])
+	}
+	m := &ColMajor{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	for i, row := range a {
+		if len(row) != cols {
+			panic("linalg: ragged input")
+		}
+		for j, v := range row {
+			m.data[j*rows+i] = v
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *ColMajor) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *ColMajor) Cols() int { return m.cols }
+
+// Col returns the contiguous storage of column j.
+func (m *ColMajor) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: column %d out of range [0,%d)", j, m.cols))
+	}
+	return m.data[j*m.rows : (j+1)*m.rows]
+}
+
+// GatherColumns copies the selected columns into dst (column-major,
+// rows×len(cols)) and returns dst. dst must have capacity rows*len(cols).
+func (m *ColMajor) GatherColumns(dst []float64, cols []int) []float64 {
+	n := m.rows * len(cols)
+	dst = dst[:n]
+	for jj, j := range cols {
+		copy(dst[jj*m.rows:(jj+1)*m.rows], m.Col(j))
+	}
+	return dst
+}
+
+// RankOfColumns computes the numerical rank of the submatrix of m formed
+// by the given columns, using w for scratch space. tol as in Rank.
+//
+// Note the submatrix is eliminated in its column-major layout, i.e. we
+// compute rank of the transpose — which equals the rank of the submatrix.
+func (m *ColMajor) RankOfColumns(w *Workspace, cols []int, tol float64) int {
+	buf := w.Buffer(len(cols), m.rows)
+	m.GatherColumns(buf, cols)
+	// buf is column-major rows×k == row-major k×rows (the transpose).
+	return Rank(buf, len(cols), m.rows, tol)
+}
+
+// RankDeficiencyExceeds performs Gaussian elimination on the row-major
+// rows×cols matrix a (destroyed) and reports whether the rank deficiency
+// relative to cols (i.e. cols - rank) exceeds maxDef, stopping as early
+// as the answer is known. When it returns false, def holds the exact
+// deficiency (≤ maxDef). This is the hot elementarity test: candidates
+// are rejected as soon as a second deficient column is found.
+func RankDeficiencyExceeds(a []float64, rows, cols int, tol float64, maxDef int) (exceeds bool, def int) {
+	if len(a) < rows*cols {
+		panic(fmt.Sprintf("linalg: buffer %d too small for %dx%d", len(a), rows, cols))
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	maxAbs := 0.0
+	for i := 0; i < rows*cols; i++ {
+		if v := math.Abs(a[i]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return cols > maxDef, cols
+	}
+	thresh := tol * maxAbs
+	rank := 0
+	for col := 0; col < cols; col++ {
+		// Columns that can no longer get a pivot (rows exhausted) are
+		// all deficient.
+		if rank == rows {
+			def += cols - col
+			return def > maxDef, def
+		}
+		pivRow, pivVal := -1, thresh
+		for i := rank; i < rows; i++ {
+			if v := math.Abs(a[i*cols+col]); v > pivVal {
+				pivRow, pivVal = i, v
+			}
+		}
+		if pivRow < 0 {
+			def++
+			if def > maxDef {
+				return true, def
+			}
+			continue
+		}
+		if pivRow != rank {
+			for k := col; k < cols; k++ {
+				a[rank*cols+k], a[pivRow*cols+k] = a[pivRow*cols+k], a[rank*cols+k]
+			}
+		}
+		p := a[rank*cols+col]
+		for i := rank + 1; i < rows; i++ {
+			f := a[i*cols+col] / p
+			if f == 0 {
+				continue
+			}
+			a[i*cols+col] = 0
+			for k := col + 1; k < cols; k++ {
+				a[i*cols+k] -= f * a[rank*cols+k]
+			}
+		}
+		rank++
+	}
+	return def > maxDef, def
+}
+
+// Dot returns the dot product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in v (0 for empty v).
+func MaxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ScaleInPlace multiplies every element of v by s.
+func ScaleInPlace(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

@@ -1,0 +1,188 @@
+package model
+
+// Built-in datasets: the paper's three workloads.
+//
+// Metabolite names containing spaces in the paper's listings ("NADH mit")
+// are written with underscores ("NADH_mit"). External metabolites carry the
+// paper's "ext" suffix; biomass (BIO) is marked external by directive so
+// that Network I has the paper's 62 internal metabolites (Network II adds
+// GLC for 63).
+
+// toySource is the illustrative network of Figure 1 / equation (2):
+// five internal metabolites (A, B, C, D, P) and nine reactions, two of
+// them reversible. Reaction/arrow assignments follow the stoichiometric
+// matrix (2): r4 exports P and r9 exports D.
+const toySource = `
+name toy
+r1 : Aext => A
+r2 : A => C
+r3 : C => D + P
+r4 : P => Pext
+r5 : A => B
+r6r : B <=> C
+r7 : B => 2 P
+r8r : B <=> Bext
+r9 : D => Dext
+`
+
+// yeast1Source is S. cerevisiae Metabolic Network I (Figures 3 and 4):
+// 62 internal metabolites and 78 reactions (47 irreversible + 31
+// reversible).
+const yeast1Source = `
+name yeast1
+external BIO
+
+# --- irreversible reactions (Figure 3) ---
+R4 : F6P + ATP => FDP + ADP
+R5 : FDP => F6P
+R9 : PYR + ATP => PEP + ADP
+R10 : PEP + ADP => PYR + ATP
+R12 : GL3P + FAD_mit => DHAP + FADH_mit
+R26 : GL3P => GLY
+R15 : G6P + 2 NADP => 2 NADPH + CO2 + RL5P
+R21 : ACCOA + OA => COA + CIT
+R23 : ICIT + NADP => CO2 + NADPH + AKG
+R24 : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit
+R27 : FUM + FADH => SUCC + FAD
+R33 : PYR + COA => ACCOA + FOR
+R37 : PYR + ATP + CO2 => ADP + OA
+R38 : PYR => ACEADH + CO2
+R40 : ACEADH + NADH => ETOH + NAD
+R41 : ACEADH + NADP => AC + NADPH
+R42 : OA + ATP => PEP + CO2 + ADP
+R43 : PEP + CO2 => OA
+R46 : ICIT => GLX + SUCC
+R47 : ACCOA + GLX => COA + MAL
+R53 : ACEADH + NAD => AC + NADH
+R54 : ATP => ADP
+R58 : NADH + NAD_mit => NAD + NADH_mit
+R59 : NH3ext => NH3
+R60 : GLY => GLYext
+R62 : GLCext + PEP => G6P + PYR
+R63 : AC => ACext
+R64 : LAC => LACext
+R65 : FOR => FORext
+R66 : ETOH => ETOHext
+R67 : SUCC => SUCCext
+R68 : O2ext => O2
+R69 : CO2 => CO2ext
+R70 : 7437 G6P + 611 G3P + 437 R5P + 130 E4P + 500 PEP + 2060 PYR + 45 ACCOA_mit + 362 ACCOA + 733 AKG + 1232 OA + 1158 NAD + 434 NAD_mit + 6413 NADPH + 1568 NADPH_mit + 40141 ATP + 5587 NH3 => 1000 BIO + 247 CO2 + 45 COA_mit + 362 COA + 1158 NADH + 434 NADH_mit + 6413 NADP + 1568 NADP_mit + 40141 ADP
+R72 : PYR_mit + COA_mit + NAD_mit => ACCOA_mit + NADH_mit + CO2
+R73 : OA_mit + ACCOA_mit => CIT_mit + COA_mit
+R75 : ICIT_mit + NAD_mit => AKG_mit + NADH_mit + CO2
+R76 : ICIT_mit + NADP_mit => AKG_mit + NADPH_mit + CO2
+R77 : ICIT + NADP => AKG + NADPH + CO2
+R82 : MAL_mit + NADP_mit => PYR_mit + NADPH_mit + CO2
+R85 : ETOH_mit + COA_mit + 2 ATP_mit + 2 NAD_mit => ACCOA_mit + 2 ADP_mit + 2 NADH_mit
+R86 : ACEADH_mit + NAD_mit => AC_mit + NADH_mit
+R87 : ACEADH_mit + NADP_mit => AC_mit + NADPH_mit
+R93 : ADP + ATP_mit => ADP_mit + ATP
+R98 : FUM_mit + SUCC => SUCC_mit + FUM
+R100 : SUCC => SUCC_mit
+R101 : AKG + MAL_mit => AKG_mit + MAL
+
+# --- reversible reactions (Figure 4) ---
+R3r : G6P <=> F6P
+R6r : FDP <=> G3P + DHAP
+R7r : G3P <=> DHAP
+R8r : G3P + NAD + ADP <=> PEP + ATP + NADH
+R13r : DHAP + NADH <=> GL3P + NAD
+R16r : RL5P <=> R5P
+R17r : RL5P <=> X5P
+R18r : R5P + X5P <=> G3P + S7P
+R19r : X5P + E4P <=> F6P + G3P
+R20r : G3P + S7P <=> E4P + F6P
+R22r : CIT <=> ICIT
+R25r : SUCCOA_mit + ADP_mit <=> ATP_mit + COA_mit + SUCC_mit
+R28r : FUM <=> MAL
+R29r : MAL + NAD <=> NADH + OA
+R30r : PYR + NADH <=> NAD + LAC
+R32r : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA
+R36r : ATP + AC + COA <=> ADP + ACCOA
+R74r : CIT_mit <=> ICIT_mit
+R78r : ACEADH_mit + NADH_mit <=> ETOH_mit + NAD_mit
+R79r : SUCC_mit + FAD_mit <=> FUM_mit + FADH_mit
+R80r : FUM_mit <=> MAL_mit
+R81r : MAL_mit + NAD_mit <=> OA_mit + NADH_mit
+R88r : CIT + MAL_mit <=> CIT_mit + MAL
+R89r : MAL + SUCC_mit <=> MAL_mit + SUCC
+R90r : CIT + ICIT_mit <=> CIT_mit + ICIT
+R92r : AC_mit <=> AC
+R94r : PYR <=> PYR_mit
+R95r : ETOH <=> ETOH_mit
+R96r : MAL_mit <=> MAL
+R97r : ACCOA_mit <=> ACCOA
+R102r : OA <=> OA_mit
+`
+
+// Toy returns the illustrative network of Figure 1.
+func Toy() *Network { return MustParse(toySource) }
+
+// YeastI returns S. cerevisiae Metabolic Network I (62 metabolites × 78
+// reactions; Figures 3–4).
+func YeastI() *Network { return MustParse(yeast1Source) }
+
+// YeastII returns S. cerevisiae Metabolic Network II (63 metabolites × 83
+// reactions), constructed from Network I by the modifications listed in
+// Figure 5: five added reactions (R1, R14, R56, R57, R61), three reactions
+// made reversible (R54→R54r, R60→R60r, R63→R63r), and R62 rewritten to
+// consume internal GLC.
+func YeastII() *Network {
+	n := YeastI()
+	n.Name = "yeast2"
+
+	added := []string{
+		"R1 : GLC + ATP => G6P + ADP",
+		"R14 : GLY + ATP => GL3P + ADP",
+		"R56 : 24 ADP + 20 NADH_mit + 10 O2 => 24 ATP + 20 NAD_mit",
+		"R57 : 24 ADP + 20 FADH + 10 O2 => 24 ATP + 20 FAD",
+		"R61 : GLCext => GLC",
+	}
+	for _, line := range added {
+		r, err := ParseReaction(line)
+		if err != nil {
+			panic(err)
+		}
+		if err := n.AddReaction(r); err != nil {
+			panic(err)
+		}
+	}
+
+	// Reactions made reversible, renamed with the paper's "r" suffix.
+	for _, name := range []string{"R54", "R60", "R63"} {
+		i := n.ReactionIndex(name)
+		if i < 0 {
+			panic("model: missing " + name)
+		}
+		n.Reactions[i].Reversible = true
+		n.Reactions[i].Name = name + "r"
+	}
+
+	// Modified reaction: R62 now consumes internal GLC (phosphotransferase
+	// bypass removed in favour of R61+R1 import).
+	r62, err := ParseReaction("R62 : GLC + PEP => G6P + PYR")
+	if err != nil {
+		panic(err)
+	}
+	if err := n.ReplaceReaction("R62", r62); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Builtin returns a named built-in network ("toy", "yeast1", "yeast2"),
+// or nil if the name is unknown.
+func Builtin(name string) *Network {
+	switch name {
+	case "toy":
+		return Toy()
+	case "yeast1":
+		return YeastI()
+	case "yeast2":
+		return YeastII()
+	}
+	return nil
+}
+
+// BuiltinNames lists the available built-in networks.
+func BuiltinNames() []string { return []string{"toy", "yeast1", "yeast2"} }

@@ -1,0 +1,141 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// Parse reads a network from the plain-text reaction format (see the
+// package comment). Errors carry 1-based line numbers.
+func Parse(r io.Reader) (*Network, error) {
+	n := New("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "name "):
+			n.Name = strings.TrimSpace(strings.TrimPrefix(line, "name "))
+		case strings.HasPrefix(line, "external "):
+			for _, m := range strings.Fields(strings.TrimPrefix(line, "external ")) {
+				n.MarkExternal(m)
+			}
+		default:
+			rxn, err := ParseReaction(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if err := n.AddReaction(rxn); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(n.Reactions) == 0 {
+		return nil, fmt.Errorf("model: no reactions in input")
+	}
+	return n, nil
+}
+
+// ParseString parses a network from a string.
+func ParseString(s string) (*Network, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses a network from a string and panics on error; intended
+// for the compiled-in datasets, whose validity is enforced by tests.
+func MustParse(s string) *Network {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParseReaction parses a single "NAME : lhs => rhs" line. The arrow "<=>"
+// marks a reversible reaction; "=>" an irreversible one. Either side may
+// be empty (pure exchange written against external metabolites is the
+// normal style, but empty sides are accepted for generality).
+func ParseReaction(line string) (Reaction, error) {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return Reaction{}, fmt.Errorf("model: missing ':' in %q", line)
+	}
+	name := strings.TrimSpace(line[:colon])
+	if name == "" {
+		return Reaction{}, fmt.Errorf("model: empty reaction name in %q", line)
+	}
+	body := strings.TrimSpace(line[colon+1:])
+
+	var lhs, rhs string
+	var reversible bool
+	switch {
+	case strings.Contains(body, "<=>"):
+		parts := strings.SplitN(body, "<=>", 2)
+		lhs, rhs, reversible = parts[0], parts[1], true
+	case strings.Contains(body, "=>"):
+		parts := strings.SplitN(body, "=>", 2)
+		lhs, rhs, reversible = parts[0], parts[1], false
+	default:
+		return Reaction{}, fmt.Errorf("model: missing arrow in %q", line)
+	}
+
+	subs, err := parseSide(lhs)
+	if err != nil {
+		return Reaction{}, fmt.Errorf("model: reaction %s lhs: %w", name, err)
+	}
+	prods, err := parseSide(rhs)
+	if err != nil {
+		return Reaction{}, fmt.Errorf("model: reaction %s rhs: %w", name, err)
+	}
+	if len(subs) == 0 && len(prods) == 0 {
+		return Reaction{}, fmt.Errorf("model: reaction %s is empty", name)
+	}
+	return Reaction{Name: name, Reversible: reversible, Substrates: subs, Products: prods}, nil
+}
+
+// parseSide parses "2 ATP + G6P + 1/2 O2" into terms. A leading token that
+// parses as a rational number is a coefficient for the following
+// metabolite; otherwise the coefficient is 1.
+func parseSide(s string) ([]Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var terms []Term
+	for _, part := range strings.Split(s, "+") {
+		fields := strings.Fields(part)
+		switch len(fields) {
+		case 0:
+			return nil, fmt.Errorf("empty term")
+		case 1:
+			terms = append(terms, Term{Coef: big.NewRat(1, 1), Met: fields[0]})
+		case 2:
+			coef, ok := new(big.Rat).SetString(fields[0])
+			if !ok {
+				return nil, fmt.Errorf("bad coefficient %q", fields[0])
+			}
+			if coef.Sign() <= 0 {
+				return nil, fmt.Errorf("non-positive coefficient %q", fields[0])
+			}
+			terms = append(terms, Term{Coef: coef, Met: fields[1]})
+		default:
+			return nil, fmt.Errorf("bad term %q (metabolite names must not contain spaces)", strings.TrimSpace(part))
+		}
+	}
+	return terms, nil
+}

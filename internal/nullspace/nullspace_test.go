@@ -1,0 +1,266 @@
+package nullspace
+
+import (
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/ratmat"
+	"elmocomp/internal/reduce"
+)
+
+func toyProblem(t *testing.T, h Heuristics) (*Problem, *reduce.Reduced) {
+	t.Helper()
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(red.N, red.Reversibilities(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, red
+}
+
+func TestIdentityBlockStructure(t *testing.T) {
+	p, _ := toyProblem(t, Heuristics{})
+	q, d := p.Q(), p.D
+	if q != 8 || d != 4 {
+		t.Fatalf("toy problem q=%d D=%d, want 8/4 (paper: 8 reactions, kernel dim 4)", q, d)
+	}
+	// Identity block: Kernel[i][j] == δ_ij for i < D.
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if p.Kernel[i][j] != want {
+				t.Fatalf("identity block broken at (%d,%d): %v", i, j, p.Kernel[i][j])
+			}
+		}
+	}
+	// N·K == 0 exactly.
+	if !p.NExact.Mul(p.KernelExact).IsZero() {
+		t.Fatal("NExact·KernelExact != 0")
+	}
+}
+
+func TestIdentityRowsAreIrreversible(t *testing.T) {
+	p, _ := toyProblem(t, Heuristics{})
+	for i := 0; i < p.D; i++ {
+		if p.Rev[i] {
+			t.Fatalf("identity row %d is reversible — backward modes would be lost", i)
+		}
+	}
+}
+
+func TestReversibleRowsLastHeuristic(t *testing.T) {
+	p, red := toyProblem(t, Heuristics{})
+	// Paper's example: identity rows then irreversible pivots, with the
+	// reversible rows r6r, r8r at the bottom.
+	names := make([]string, p.Q())
+	for i, c := range p.Perm {
+		names[i] = red.Cols[c].Name
+	}
+	last2 := map[string]bool{names[p.Q()-1]: true, names[p.Q()-2]: true}
+	if !last2["r6r"] || !last2["r8r"] {
+		t.Fatalf("reversible rows not last: order %v", names)
+	}
+	// Disabling the heuristic should be accepted (order then unspecified
+	// but the problem still valid).
+	p2, _ := toyProblem(t, Heuristics{DisableReversibleLast: true, DisableNonzeroOrder: true})
+	if p2.Q() != p.Q() || p2.D != p.D {
+		t.Fatal("heuristic flags changed problem dimensions")
+	}
+}
+
+func TestNonzeroOrderHeuristic(t *testing.T) {
+	p, _ := toyProblem(t, Heuristics{})
+	nonzeros := func(row int) int {
+		c := 0
+		for j := 0; j < p.D; j++ {
+			if p.KernelExact.At(row, j).Sign() != 0 {
+				c++
+			}
+		}
+		return c
+	}
+	// Within each reversibility class of pivot rows, counts must be
+	// non-decreasing.
+	prevIrrev, prevRev := -1, -1
+	for i := p.D; i < p.Q(); i++ {
+		n := nonzeros(i)
+		if p.Rev[i] {
+			if n < prevRev {
+				t.Fatalf("reversible pivot rows out of nonzero order at %d", i)
+			}
+			prevRev = n
+		} else {
+			if n < prevIrrev {
+				t.Fatalf("irreversible pivot rows out of nonzero order at %d", i)
+			}
+			prevIrrev = n
+		}
+	}
+}
+
+func TestForceLast(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j6, j8 := red.ColumnIndexByOriginal("r6r"), red.ColumnIndexByOriginal("r8r")
+	p, err := New(red.N, red.Reversibilities(), Heuristics{ForceLast: []int{j8, j6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OrigCol(p.Perm[p.Q()-2]) != j8 || p.OrigCol(p.Perm[p.Q()-1]) != j6 {
+		t.Fatalf("forced order not respected: last rows are %d,%d want %d,%d",
+			p.Perm[p.Q()-2], p.Perm[p.Q()-1], j8, j6)
+	}
+	// Duplicated and out-of-range forced columns must fail.
+	if _, err := New(red.N, red.Reversibilities(), Heuristics{ForceLast: []int{j6, j6}}); err == nil {
+		t.Fatal("duplicate forced column accepted")
+	}
+	if _, err := New(red.N, red.Reversibilities(), Heuristics{ForceLast: []int{99}}); err == nil {
+		t.Fatal("out-of-range forced column accepted")
+	}
+}
+
+func TestAutoSplitOnReversibleCycle(t *testing.T) {
+	// Three fully reversible reactions around a cycle are mutually
+	// dependent; at least one cannot be a pivot and must be split.
+	src := `
+name revcycle
+in : Aext <=> A
+c1 : A <=> B
+c2 : B <=> C
+c3 : C <=> A
+out : B => Bext
+`
+	n, err := model.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := reduce.Network(n, reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(red.N, red.Reversibilities(), Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Split == nil {
+		t.Fatal("expected automatic splitting")
+	}
+	if p.Q() <= p.OrigQ() {
+		t.Fatalf("split did not widen the system: %d vs %d", p.Q(), p.OrigQ())
+	}
+	// Split bookkeeping: Pair returns a valid fwd/bwd pair.
+	for _, sc := range p.Split.SplitCols {
+		fwd, bwd := p.Split.Pair(sc)
+		if fwd < 0 || bwd < 0 {
+			t.Fatalf("Pair(%d) = %d,%d", sc, fwd, bwd)
+		}
+		if p.Split.ColOf[fwd] != sc || p.Split.ColOf[bwd] != sc {
+			t.Fatal("ColOf inconsistent with Pair")
+		}
+	}
+	if fwd, bwd := p.Split.Pair(0); fwd != -1 || bwd != -1 {
+		// Column 0 of this network is unsplit unless it was an offender.
+		found := false
+		for _, sc := range p.Split.SplitCols {
+			if sc == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("Pair on unsplit column should be (-1,-1)")
+		}
+	}
+	// Identity rows must still be irreversible after splitting.
+	for i := 0; i < p.D; i++ {
+		if p.Rev[i] {
+			t.Fatalf("identity row %d reversible after split", i)
+		}
+	}
+}
+
+func TestSplitAllReversible(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(red.N, red.Reversibilities(), Heuristics{SplitAllReversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Split == nil || len(p.Split.SplitCols) != 2 {
+		t.Fatalf("expected 2 split reactions (r6r, r8r), got %+v", p.Split)
+	}
+	for _, r := range p.Rev {
+		if r {
+			t.Fatal("reversible reaction survived SplitAllReversible")
+		}
+	}
+	if _, err := New(red.N, red.Reversibilities(), Heuristics{
+		SplitAllReversible: true, ForceLast: []int{0},
+	}); err == nil {
+		t.Fatal("SplitAllReversible+ForceLast accepted")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	// Rank-deficient stoichiometry.
+	N := ratmat.FromInts([][]int64{{1, -1}, {2, -2}})
+	if _, err := New(N, []bool{false, false}, Heuristics{}); err == nil {
+		t.Fatal("rank-deficient matrix accepted")
+	}
+	// Wrong flag count.
+	N2 := ratmat.FromInts([][]int64{{1, -1}})
+	if _, err := New(N2, []bool{false}, Heuristics{}); err == nil {
+		t.Fatal("wrong reversibility count accepted")
+	}
+	// Trivial kernel.
+	N3 := ratmat.FromInts([][]int64{{1, 0}, {0, 1}})
+	if _, err := New(N3, []bool{false, false}, Heuristics{}); err == nil {
+		t.Fatal("trivial kernel accepted")
+	}
+}
+
+func TestInvPerm(t *testing.T) {
+	p, _ := toyProblem(t, Heuristics{})
+	inv := p.InvPerm()
+	for i, c := range p.Perm {
+		if inv[c] != i {
+			t.Fatal("InvPerm broken")
+		}
+	}
+}
+
+func TestYeastProblems(t *testing.T) {
+	for _, name := range []string{"yeast1", "yeast2"} {
+		red, err := reduce.Network(model.Builtin(name), reduce.Options{MergeDuplicates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(red.N, red.Reversibilities(), Heuristics{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Both yeast networks have exactly one reversible reduced column
+		// that is linearly dependent on the other reversible columns and
+		// must be split (a regression anchor, not a failure).
+		if p.Split == nil || len(p.Split.SplitCols) != 1 {
+			t.Errorf("%s: expected exactly one split reversible column, got %+v", name, p.Split)
+		}
+		if !p.NExact.Mul(p.KernelExact).IsZero() {
+			t.Errorf("%s: kernel not exact", name)
+		}
+		for i := 0; i < p.D; i++ {
+			if p.Rev[i] {
+				t.Errorf("%s: reversible identity row", name)
+			}
+		}
+	}
+}

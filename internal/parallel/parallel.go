@@ -1,0 +1,258 @@
+// Package parallel implements the combinatorial parallel Nullspace
+// Algorithm (Algorithm 2 of the paper): distributed-memory data
+// parallelism over the candidate-generation loop.
+//
+// Every compute node holds a replica of the current nullspace matrix.
+// Each iteration, node i generates the i-th combinatorial slice of the
+// positive×negative pairings (ParallelGenerateEFMCands), locally
+// deduplicates and rank-tests its candidates, then the nodes exchange
+// surviving candidates (Communicate&Merge) and each rebuilds the —
+// identical — next matrix. The per-phase timings this package reports
+// (gen cand / rank test / communicate / merge) are the rows of the
+// paper's Table II; communication volume is measured in bytes and
+// messages by the cluster substrate.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"elmocomp/internal/cluster"
+	"elmocomp/internal/core"
+	"elmocomp/internal/linalg"
+	"elmocomp/internal/nullspace"
+)
+
+// Transport selects the message-passing fabric connecting the simulated
+// compute nodes.
+type Transport int
+
+const (
+	// InProc connects nodes with buffered channels (default).
+	InProc Transport = iota
+	// TCP connects nodes with loopback TCP sockets.
+	TCP
+)
+
+// Options configure a parallel run.
+type Options struct {
+	Core      core.Options
+	Nodes     int // number of compute nodes (default 1)
+	Transport Transport
+}
+
+// PhaseTimes aggregates the per-phase wall-clock seconds across
+// iterations for one node — the paper's Table II row structure.
+type PhaseTimes struct {
+	GenCand     float64 // candidate generation
+	RankTest    float64 // elementarity tests
+	Communicate float64 // candidate exchange
+	Merge       float64 // duplicate removal + matrix rebuild
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimes) Total() float64 {
+	return p.GenCand + p.RankTest + p.Communicate + p.Merge
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Serial holds the algorithm-level results (final modes from node 0,
+	// aggregated iteration statistics).
+	*core.Result
+	// NodePhases holds each node's phase timing totals.
+	NodePhases []PhaseTimes
+	// Comm aggregates the group's traffic.
+	Comm cluster.GroupStats
+	// PeakNodeBytes is the largest mode-set payload any single node held
+	// (the replicated-matrix memory bound the paper's §IV-B discusses).
+	PeakNodeBytes int64
+}
+
+// MaxPhases returns the element-wise maximum over nodes (the critical
+// path).
+func (r *Result) MaxPhases() PhaseTimes {
+	var m PhaseTimes
+	for _, p := range r.NodePhases {
+		if p.GenCand > m.GenCand {
+			m.GenCand = p.GenCand
+		}
+		if p.RankTest > m.RankTest {
+			m.RankTest = p.RankTest
+		}
+		if p.Communicate > m.Communicate {
+			m.Communicate = p.Communicate
+		}
+		if p.Merge > m.Merge {
+			m.Merge = p.Merge
+		}
+	}
+	return m
+}
+
+// Run executes Algorithm 2 on the given prepared problem.
+func Run(p *nullspace.Problem, opts Options) (*Result, error) {
+	nodes := opts.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	var comms []cluster.Comm
+	switch opts.Transport {
+	case InProc:
+		comms = cluster.NewInProc(nodes, 0)
+	case TCP:
+		var err error
+		comms, err = cluster.NewTCPGroup(nodes)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("parallel: unknown transport %d", opts.Transport)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	last := opts.Core.LastRow
+	if last <= 0 || last > p.Q() {
+		last = p.Q()
+	}
+
+	results := make([]*nodeResult, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = runNode(p, opts.Core, comms[rank], last)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: node %d: %w", r, err)
+		}
+	}
+
+	// Replication invariant: all nodes must have produced identical
+	// mode sets; adopt node 0's.
+	for r := 1; r < nodes; r++ {
+		if results[r].set.Len() != results[0].set.Len() {
+			return nil, fmt.Errorf("parallel: replica divergence: node %d holds %d modes, node 0 holds %d",
+				r, results[r].set.Len(), results[0].set.Len())
+		}
+	}
+
+	// Aggregate the per-iteration statistics: candidate counts and
+	// generation/test CPU seconds sum over the nodes' pair slices;
+	// merge-side numbers (duplicates, modes out, memory) are identical
+	// on every replica and come from node 0.
+	agg := append([]core.IterStats(nil), results[0].stats...)
+	for r := 1; r < nodes; r++ {
+		for i := range agg {
+			s := results[r].stats[i]
+			agg[i].Pairs += s.Pairs
+			agg[i].Prefiltered += s.Prefiltered
+			agg[i].Tested += s.Tested
+			agg[i].Accepted += s.Accepted
+			agg[i].GenSeconds += s.GenSeconds
+			agg[i].TestSeconds += s.TestSeconds
+		}
+	}
+
+	out := &Result{
+		Result: &core.Result{
+			Problem: p,
+			Modes:   results[0].set,
+			Stats:   agg,
+		},
+		Comm: cluster.StatsOf(comms),
+	}
+	for r := 0; r < nodes; r++ {
+		out.NodePhases = append(out.NodePhases, results[r].phases)
+		if b := results[r].peakBytes; b > out.PeakNodeBytes {
+			out.PeakNodeBytes = b
+		}
+	}
+	return out, nil
+}
+
+type nodeResult struct {
+	set       *core.ModeSet
+	stats     []core.IterStats
+	phases    PhaseTimes
+	peakBytes int64
+}
+
+// runNode is the per-node main loop of Algorithm 2.
+func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last int) (*nodeResult, error) {
+	nr := &nodeResult{}
+	set := core.InitialModeSet(p, tolOf(copts))
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	rank, size := comm.Rank(), comm.Size()
+
+	for row := p.D; row < last; row++ {
+		it := core.BeginRow(p, set, row, copts)
+
+		// ParallelGenerateEFMCands: this node's combinatorial slice of
+		// the pair space (contiguous block decomposition).
+		pairs := it.Pairs()
+		from := pairs * int64(rank) / int64(size)
+		to := pairs * int64(rank+1) / int64(size)
+		local := it.NewCandidateSet()
+		var genStats core.IterStats
+		it.GenerateInto(local, ws, from, to, &genStats)
+		nr.phases.GenCand += genStats.GenSeconds
+		nr.phases.RankTest += genStats.TestSeconds
+
+		// Communicate: allgather the surviving local candidates.
+		commTimer := newTimer()
+		payloads, err := comm.Allgather(local.Encode())
+		if err != nil {
+			return nil, err
+		}
+		nr.phases.Communicate += commTimer.seconds()
+
+		// Merge: decode every node's candidates and rebuild the
+		// replicated next matrix (global duplicate removal inside
+		// AssembleNext).
+		candSets := make([]*core.ModeSet, len(payloads))
+		for i, pl := range payloads {
+			if i == rank {
+				candSets[i] = local
+				continue
+			}
+			cs, err := core.DecodeModeSet(pl)
+			if err != nil {
+				return nil, err
+			}
+			candSets[i] = cs
+		}
+		it.MergeStats(&genStats)
+		next, err := it.AssembleNext(candSets...)
+		if err != nil {
+			return nil, err
+		}
+		nr.phases.Merge += it.Stats.MergeSeconds
+		set = next
+		if b := it.Stats.PeakBytes; b > nr.peakBytes {
+			nr.peakBytes = b
+		}
+		nr.stats = append(nr.stats, it.Stats)
+		if copts.Trace != nil && rank == 0 {
+			copts.Trace(it.Stats, set)
+		}
+	}
+	nr.set = set
+	return nr, nil
+}
+
+func tolOf(o core.Options) float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return linalg.DefaultTol
+}

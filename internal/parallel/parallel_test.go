@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+)
+
+func toyProblem(t *testing.T) *nullspace.Problem {
+	t.Helper()
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func canonicalKeys(res *core.Result) string {
+	var keys []string
+	for _, b := range core.CanonicalSupports(res) {
+		keys = append(keys, b.String())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+func TestParallelMatchesSerialAcrossNodeCounts(t *testing.T) {
+	p := toyProblem(t)
+	serial, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalKeys(serial)
+	for _, nodes := range []int{1, 2, 3, 4, 7} {
+		res, err := Run(p, Options{Nodes: nodes})
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if got := canonicalKeys(res.Result); got != want {
+			t.Fatalf("nodes=%d: EFM set differs from serial\n got %s\nwant %s", nodes, got, want)
+		}
+		if res.Modes.Len() != serial.Modes.Len() {
+			t.Fatalf("nodes=%d: %d modes, serial %d", nodes, res.Modes.Len(), serial.Modes.Len())
+		}
+	}
+}
+
+func TestParallelTotalPairsInvariant(t *testing.T) {
+	// The combinatorial decomposition partitions the pair space: the
+	// total candidate count must be identical for every node count.
+	p := toyProblem(t)
+	serial, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 3, 5} {
+		res, err := Run(p, Options{Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalPairs() != serial.TotalPairs() {
+			t.Fatalf("nodes=%d: pairs %d != serial %d", nodes, res.TotalPairs(), serial.TotalPairs())
+		}
+	}
+}
+
+func TestParallelOverTCP(t *testing.T) {
+	p := toyProblem(t)
+	serial, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Nodes: 3, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalKeys(res.Result) != canonicalKeys(serial) {
+		t.Fatal("TCP run diverged from serial")
+	}
+	if res.Comm.Bytes == 0 || res.Comm.Messages == 0 {
+		t.Fatalf("no traffic recorded over TCP: %+v", res.Comm)
+	}
+}
+
+func TestCommunicationAccountedOnlyForMultiNode(t *testing.T) {
+	p := toyProblem(t)
+	res1, err := Run(p, Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Comm.Bytes != 0 {
+		t.Fatalf("1-node run sent %d bytes", res1.Comm.Bytes)
+	}
+	res4, err := Run(p, Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Comm.Bytes == 0 {
+		t.Fatal("4-node run recorded no traffic")
+	}
+	if res4.Comm.Messages < int64(4*3*(p.Q()-p.D)) {
+		t.Fatalf("expected at least one allgather round per iteration, got %d messages", res4.Comm.Messages)
+	}
+}
+
+func TestPhaseTimesPopulated(t *testing.T) {
+	p := toyProblem(t)
+	res, err := Run(p, Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodePhases) != 2 {
+		t.Fatalf("phases for %d nodes", len(res.NodePhases))
+	}
+	m := res.MaxPhases()
+	if m.Total() <= 0 {
+		t.Fatalf("no time recorded: %+v", m)
+	}
+	if res.PeakNodeBytes <= 0 {
+		t.Fatal("peak node bytes not recorded")
+	}
+}
+
+func TestParallelStatsMatchSerial(t *testing.T) {
+	// Aggregated per-iteration candidate statistics must be identical
+	// to the serial run (the pair space is partitioned, not changed).
+	p := toyProblem(t)
+	serial, err := core.Run(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != len(serial.Stats) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(res.Stats), len(serial.Stats))
+	}
+	for i, s := range res.Stats {
+		ref := serial.Stats[i]
+		if s.Pairs != ref.Pairs || s.Accepted != ref.Accepted || s.ModesOut != ref.ModesOut {
+			t.Fatalf("iteration %d: stats diverge: parallel %+v vs serial %+v", i, s, ref)
+		}
+	}
+}
+
+func TestParallelLastRow(t *testing.T) {
+	// Stopping early must leave the same intermediate mode count as the
+	// serial engine (Proposition 1 plumbing for divide-and-conquer).
+	p := toyProblem(t)
+	last := p.Q() - 2
+	serial, err := core.Run(p, core.Options{LastRow: last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Nodes: 2, Core: core.Options{LastRow: last}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modes.Len() != serial.Modes.Len() {
+		t.Fatalf("early-stopped parallel %d modes, serial %d", res.Modes.Len(), serial.Modes.Len())
+	}
+	if res.Modes.FirstRow() != last {
+		t.Fatalf("stopped at row %d, want %d", res.Modes.FirstRow(), last)
+	}
+}
+
+func TestParallelYeastSubset(t *testing.T) {
+	// A medium-size real instance: run Network I's algorithm truncated
+	// a few rows short (keeps runtime small) and check node-count
+	// equivalence on intermediate state.
+	if testing.Short() {
+		t.Skip("medium-size instance")
+	}
+	red, err := reduce.Network(model.YeastI(), reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.D + 25
+	serial, err := core.Run(p, core.Options{LastRow: last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Nodes: 4, Core: core.Options{LastRow: last}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modes.Len() != serial.Modes.Len() || res.TotalPairs() != serial.TotalPairs() {
+		t.Fatalf("yeast subset diverged: %d/%d modes, %d/%d pairs",
+			res.Modes.Len(), serial.Modes.Len(), res.TotalPairs(), serial.TotalPairs())
+	}
+}

@@ -1,0 +1,9 @@
+package parallel
+
+import "time"
+
+type timer struct{ start time.Time }
+
+func newTimer() timer { return timer{start: time.Now()} }
+
+func (t timer) seconds() float64 { return time.Since(t.start).Seconds() }

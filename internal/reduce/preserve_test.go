@@ -1,0 +1,246 @@
+package reduce
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/ratmat"
+	"elmocomp/internal/synth"
+)
+
+// bruteEFMs enumerates EFM supports of (N, rev) exhaustively in exact
+// arithmetic (test oracle; see internal/core for the same construction).
+func bruteEFMs(N *ratmat.Matrix, rev []bool) map[string][]*big.Rat {
+	q := N.Cols()
+	out := make(map[string][]*big.Rat)
+	for mask := 1; mask < 1<<uint(q); mask++ {
+		var cols []int
+		for j := 0; j < q; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				cols = append(cols, j)
+			}
+		}
+		sub := N.SelectColumns(cols)
+		k, _ := sub.Kernel()
+		if k.Cols() != 1 {
+			continue
+		}
+		full := true
+		for j := range cols {
+			if k.At(j, 0).Sign() == 0 {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		posOK, negOK := true, true
+		for j, cj := range cols {
+			if rev[cj] {
+				continue
+			}
+			if k.At(j, 0).Sign() < 0 {
+				posOK = false
+			} else {
+				negOK = false
+			}
+		}
+		if !posOK && !negOK {
+			continue
+		}
+		vec := make([]*big.Rat, q)
+		for j := range vec {
+			vec[j] = new(big.Rat)
+		}
+		flip := !posOK
+		for j, cj := range cols {
+			v := new(big.Rat).Set(k.At(j, 0))
+			if flip {
+				v.Neg(v)
+			}
+			vec[cj] = v
+		}
+		key := make([]byte, q)
+		for j := range key {
+			key[j] = '0'
+			if vec[j].Sign() != 0 {
+				key[j] = '1'
+			}
+		}
+		out[string(key)] = vec
+	}
+	return out
+}
+
+// TestReductionPreservesEFMs is the reducer's central contract: the EFMs
+// of the original network equal the expansions of the EFMs of the
+// reduced network (with MergeDuplicates off), on random small networks.
+func TestReductionPreservesEFMs(t *testing.T) {
+	checked := 0
+	for seed := int64(0); checked < 12 && seed < 60; seed++ {
+		n, err := synth.Network(synth.Params{
+			Layers: 2 + int(seed%2), Width: 2,
+			CrossLinks:         int(seed % 4),
+			ReversibleFraction: 0.3,
+			MaxCoef:            2,
+			Seed:               seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		N, _ := n.Stoichiometry()
+		if N.Cols() > 14 {
+			continue // keep the exhaustive oracle tractable
+		}
+		origEFMs := bruteEFMs(N, n.Reversibilities())
+
+		red, err := Network(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.N.Cols() == 0 {
+			if len(origEFMs) != 0 {
+				t.Fatalf("seed %d: network reduced away but has %d EFMs", seed, len(origEFMs))
+			}
+			continue
+		}
+		redEFMs := bruteEFMs(red.N, red.Reversibilities())
+
+		// Expand every reduced EFM and match against the original set.
+		got := make(map[string]bool)
+		for _, vec := range redEFMs {
+			orig := red.Expand(vec)
+			key := make([]byte, len(orig))
+			for j := range key {
+				key[j] = '0'
+				if orig[j].Sign() != 0 {
+					key[j] = '1'
+				}
+			}
+			// The expansion must be balanced and sign-feasible.
+			for row, b := range mulVec(N, orig) {
+				if b.Sign() != 0 {
+					t.Fatalf("seed %d: expansion imbalanced at row %d", seed, row)
+				}
+			}
+			for j, r := range n.Reactions {
+				if !r.Reversible && orig[j].Sign() < 0 {
+					t.Fatalf("seed %d: expansion breaks sign of %s", seed, r.Name)
+				}
+			}
+			got[string(key)] = true
+		}
+		if len(got) != len(origEFMs) {
+			t.Fatalf("seed %d (%s): reduced network has %d EFM supports after expansion, original has %d\n got: %v\nwant: %v",
+				seed, n.Name, len(got), len(origEFMs), keys(got), keysV(origEFMs))
+		}
+		for k := range origEFMs {
+			if !got[k] {
+				t.Fatalf("seed %d: original EFM %s lost by reduction", seed, k)
+			}
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func mulVec(N *ratmat.Matrix, x []*big.Rat) []*big.Rat { return N.MulVec(x) }
+
+func keys(m map[string]bool) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+func keysV(m map[string][]*big.Rat) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+// TestReductionPreservesEFMsHandCrafted runs the same contract on the
+// curated corner-case networks (reversible cycles, forced directions,
+// dead branches).
+func TestReductionPreservesEFMsHandCrafted(t *testing.T) {
+	nets := []string{
+		`
+name toyclone
+r1 : Aext => A
+r2 : A => C
+r3 : C => D + P
+r4 : P => Pext
+r5 : A => B
+r6r : B <=> C
+r7 : B => 2 P
+r8r : B <=> Bext
+r9 : D => Dext
+`, `
+name revloop
+in : Aext <=> A
+c1 : A <=> B
+c2 : B <=> A
+out : B => Bext
+`, `
+name forced
+in : Aext => A
+mid : A <=> B
+leak : B <=> Cext
+out : B => Bext
+`,
+	}
+	for _, src := range nets {
+		n, err := model.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		N, _ := n.Stoichiometry()
+		origEFMs := bruteEFMs(N, n.Reversibilities())
+		red, err := Network(n, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if red.N.Cols() == 0 {
+			if len(origEFMs) != 0 {
+				t.Fatalf("%s: reduced away with %d EFMs", n.Name, len(origEFMs))
+			}
+			continue
+		}
+		redEFMs := bruteEFMs(red.N, red.Reversibilities())
+		got := make(map[string]bool)
+		for _, vec := range redEFMs {
+			orig := red.Expand(vec)
+			key := make([]byte, len(orig))
+			for j := range key {
+				key[j] = '0'
+				if orig[j].Sign() != 0 {
+					key[j] = '1'
+				}
+			}
+			got[string(key)] = true
+		}
+		if len(got) != len(origEFMs) {
+			t.Fatalf("%s: %d expanded EFMs vs %d original\n got: %v\nwant: %v",
+				n.Name, len(got), len(origEFMs), keys(got), keysV(origEFMs))
+		}
+		for k := range origEFMs {
+			if !got[k] {
+				t.Fatalf("%s: original EFM %s lost", n.Name, k)
+			}
+		}
+	}
+}
+
+var _ = rand.New // reserved for future randomized variants

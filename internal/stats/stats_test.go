@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table II", "# nodes", "total time", "EFMs")
+	tb.AddRow(1, 12.5, Count(1515314))
+	tb.AddRow(16, 0.97, Count(1515314))
+	tb.AddNote("paper reports %s EFMs", Count(1515314))
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "# nodes", "1,515,314", "12.50", "# paper reports"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Column alignment: header separator at least as long as any row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	sep := lines[2]
+	if !strings.HasPrefix(sep, "---") {
+		t.Fatalf("no separator line: %q", sep)
+	}
+}
+
+func TestShortRowsTolerated(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		0:            "0",
+		999:          "999",
+		1000:         "1,000",
+		1515314:      "1,515,314",
+		159599700951: "159,599,700,951",
+		-42000:       "-42,000",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:        "512 B",
+		2048:       "2.0 KiB",
+		5 << 20:    "5.0 MiB",
+		3 << 30:    "3.0 GiB",
+		1536 << 20: "1.5 GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(0.0000005); got != "0.5us" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := Seconds(0.25); got != "250.0ms" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := Seconds(12.345); got != "12.35s" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := Seconds(250); got != "250s" {
+		t.Errorf("Seconds = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 5); got != "2.00x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "-" {
+		t.Errorf("Ratio = %q", got)
+	}
+}

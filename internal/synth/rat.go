@@ -1,0 +1,9 @@
+package synth
+
+import "math/big"
+
+// bigRat aliases math/big.Rat to keep the generator's term-building
+// terse.
+type bigRat = big.Rat
+
+func newRat(v int64) *bigRat { return big.NewRat(v, 1) }

@@ -1,0 +1,137 @@
+// Package synth generates synthetic metabolic networks for scaling
+// experiments: laptop-scale stand-ins for the paper's testbed-scale
+// yeast runs, with tunable size, connectivity and reversibility. The
+// generator is deterministic per seed.
+//
+// Networks are built as layered pathway graphs — exchange reactions feed
+// an input layer, internal conversion reactions connect adjacent layers
+// (with occasional skips and branches), and an output layer drains to
+// external metabolites. This shape guarantees flux consistency (every
+// metabolite lies on some input→output path), so EFM counts grow
+// combinatorially with width and cross-links, mimicking how genome-scale
+// models explode.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elmocomp/internal/model"
+)
+
+// Params control generation.
+type Params struct {
+	// Layers is the pathway depth (≥ 2), Width the metabolites per
+	// layer (≥ 1).
+	Layers, Width int
+	// CrossLinks adds this many random same-or-adjacent-layer conversion
+	// reactions beyond the baseline connectivity.
+	CrossLinks int
+	// ReversibleFraction of internal conversions is made reversible.
+	ReversibleFraction float64
+	// MaxCoef bounds stoichiometric coefficients (≥ 1; default 1).
+	MaxCoef int
+	// Seed fixes the random stream.
+	Seed int64
+}
+
+// Network generates a synthetic metabolic network.
+func Network(p Params) (*model.Network, error) {
+	if p.Layers < 2 || p.Width < 1 {
+		return nil, fmt.Errorf("synth: need Layers >= 2 and Width >= 1, got %d/%d", p.Layers, p.Width)
+	}
+	if p.MaxCoef < 1 {
+		p.MaxCoef = 1
+	}
+	if p.ReversibleFraction < 0 || p.ReversibleFraction > 1 {
+		return nil, fmt.Errorf("synth: ReversibleFraction %v out of [0,1]", p.ReversibleFraction)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := model.New(fmt.Sprintf("synth-l%dw%dx%d-s%d", p.Layers, p.Width, p.CrossLinks, p.Seed))
+
+	met := func(layer, i int) string { return fmt.Sprintf("M%d_%d", layer, i) }
+	coef := func() int64 { return int64(1 + rng.Intn(p.MaxCoef)) }
+	rid := 0
+	add := func(rev bool, subs, prods []model.Term) error {
+		rid++
+		name := fmt.Sprintf("R%d", rid)
+		if rev {
+			name += "r"
+		}
+		return n.AddReaction(model.Reaction{
+			Name: name, Reversible: rev, Substrates: subs, Products: prods,
+		})
+	}
+	term := func(metName string, c int64) model.Term {
+		return model.Term{Coef: ratInt(c), Met: metName}
+	}
+
+	// Exchange in: one importer per input-layer metabolite.
+	for i := 0; i < p.Width; i++ {
+		if err := add(false,
+			[]model.Term{term(fmt.Sprintf("X%din_ext", i), 1)},
+			[]model.Term{term(met(0, i), 1)}); err != nil {
+			return nil, err
+		}
+	}
+	// Layer-to-layer conversions: every metabolite feeds at least one
+	// successor; extra fan-out with probability 1/2.
+	for l := 0; l < p.Layers-1; l++ {
+		for i := 0; i < p.Width; i++ {
+			targets := []int{rng.Intn(p.Width)}
+			if rng.Intn(2) == 0 {
+				targets = append(targets, rng.Intn(p.Width))
+			}
+			for _, tgt := range targets {
+				rev := rng.Float64() < p.ReversibleFraction
+				if err := add(rev,
+					[]model.Term{term(met(l, i), coef())},
+					[]model.Term{term(met(l+1, tgt), coef())}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Guarantee every layer-(l+1) metabolite is produced.
+		produced := make([]bool, p.Width)
+		for _, r := range n.Reactions {
+			for _, t := range r.Products {
+				for i := 0; i < p.Width; i++ {
+					if t.Met == met(l+1, i) {
+						produced[i] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < p.Width; i++ {
+			if !produced[i] {
+				if err := add(false,
+					[]model.Term{term(met(l, rng.Intn(p.Width)), 1)},
+					[]model.Term{term(met(l+1, i), 1)}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Cross links: conversions between random metabolites of adjacent
+	// layers (direction down-stream to preserve consistency).
+	for k := 0; k < p.CrossLinks; k++ {
+		l := rng.Intn(p.Layers - 1)
+		rev := rng.Float64() < p.ReversibleFraction
+		if err := add(rev,
+			[]model.Term{term(met(l, rng.Intn(p.Width)), coef())},
+			[]model.Term{term(met(l+1, rng.Intn(p.Width)), coef())}); err != nil {
+			return nil, err
+		}
+	}
+	// Exchange out.
+	for i := 0; i < p.Width; i++ {
+		if err := add(false,
+			[]model.Term{term(met(p.Layers-1, i), 1)},
+			[]model.Term{term(fmt.Sprintf("X%dout_ext", i), 1)}); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func ratInt(v int64) *bigRat { return newRat(v) }
