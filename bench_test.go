@@ -93,6 +93,19 @@ func BenchmarkTable2Nodes2(b *testing.B) { benchmarkTable2(b, 2) }
 func BenchmarkTable2Nodes4(b *testing.B) { benchmarkTable2(b, 4) }
 func BenchmarkTable2Nodes8(b *testing.B) { benchmarkTable2(b, 8) }
 
+// benchmarkWorkers measures the shared-memory worker layer on the serial
+// driver (no cluster simulation in the way): the ISSUE's BenchmarkWorkers4
+// vs BenchmarkWorkers1 speedup target reads off these.
+func benchmarkWorkers(b *testing.B, workers int) {
+	res := runBench(b, mustBenchNet(b), Config{Workers: workers})
+	b.ReportMetric(float64(res.PeakNodeBytes), "peakBytes")
+}
+
+func BenchmarkWorkers1(b *testing.B) { benchmarkWorkers(b, 1) }
+func BenchmarkWorkers2(b *testing.B) { benchmarkWorkers(b, 2) }
+func BenchmarkWorkers4(b *testing.B) { benchmarkWorkers(b, 4) }
+func BenchmarkWorkers8(b *testing.B) { benchmarkWorkers(b, 8) }
+
 func BenchmarkTable3DnC(b *testing.B) {
 	res := runBench(b, mustBenchNet(b), Config{
 		Algorithm: DivideAndConquer, Qsub: 2, Nodes: 4,

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"elmocomp"
@@ -397,4 +399,93 @@ func expMemory(cfg benchConfig) error {
 	tb.AddNote("Algorithm 2's replicated matrix does not shrink with more nodes (the paper's")
 	tb.AddNote("motivation); the divide-and-conquer peak drops as the largest class shrinks")
 	return tb.Render(os.Stdout)
+}
+
+// workersBenchEntry is one row of the machine-readable BENCH_efm.json the
+// workers experiment emits so the perf trajectory is tracked across PRs.
+type workersBenchEntry struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	ModesPerSec float64 `json:"modes_per_sec"`
+	PeakBytes   int64   `json:"peak_bytes"`
+	EFMs        int     `json:"efms"`
+	Candidates  int64   `json:"candidates"`
+	Speedup     float64 `json:"speedup_vs_1"`
+}
+
+type workersBenchReport struct {
+	Benchmark  string              `json:"benchmark"`
+	Network    string              `json:"network"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Results    []workersBenchEntry `json:"results"`
+}
+
+// expWorkers measures the shared-memory worker layer: one serial-driver
+// run of the medium workload per worker count, reported as a table and
+// as BENCH_efm.json.
+func expWorkers(cfg benchConfig) error {
+	var net *elmocomp.Network
+	var err error
+	if cfg.full {
+		net, err = elmocomp.Builtin("yeast1")
+	} else {
+		net, err = mediumWorkload()
+	}
+	if err != nil {
+		return err
+	}
+	report := workersBenchReport{
+		Benchmark:  "workers-sweep",
+		Network:    net.Name(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	sweep := cfg.workers
+	if len(sweep) == 0 {
+		sweep = []int{1, 2, 4, 8}
+	}
+	tb := stats.NewTable("shared-memory worker scaling (serial driver)",
+		"workers", "wall (s)", "modes/sec", "speedup", "peak mem", "EFMs", "candidates")
+	var base float64
+	for _, w := range sweep {
+		start := time.Now()
+		res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{Workers: w, Progress: progress(cfg)})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if base == 0 {
+			base = elapsed.Seconds()
+		}
+		entry := workersBenchEntry{
+			Workers:     w,
+			NsPerOp:     elapsed.Nanoseconds(),
+			ModesPerSec: float64(res.Len()) / elapsed.Seconds(),
+			PeakBytes:   res.PeakNodeBytes,
+			EFMs:        res.Len(),
+			Candidates:  res.CandidateModes,
+			Speedup:     base / elapsed.Seconds(),
+		}
+		report.Results = append(report.Results, entry)
+		tb.AddRow(w, stats.Seconds(elapsed.Seconds()),
+			fmt.Sprintf("%.0f", entry.ModesPerSec),
+			fmt.Sprintf("%.2fx", entry.Speedup),
+			stats.Bytes(entry.PeakBytes),
+			stats.Count(int64(entry.EFMs)), stats.Count(entry.Candidates))
+	}
+	tb.AddNote("results are bit-identical across worker counts (determinism-tested); only time moves")
+	tb.AddNote(fmt.Sprintf("GOMAXPROCS=%d — speedups flatten at the physical core count", report.GoMaxProcs))
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.jsonPath)
+	}
+	return nil
 }

@@ -25,10 +25,12 @@ import (
 )
 
 type benchConfig struct {
-	full    bool
-	nodes   []int
-	budget  int
-	verbose bool
+	full     bool
+	nodes    []int
+	workers  []int
+	budget   int
+	verbose  bool
+	jsonPath string
 }
 
 type experiment struct {
@@ -46,6 +48,7 @@ var experiments = []experiment{
 	{"table4", "Table IV: Network II with partition {R54r,R90r,R60r} and adaptive re-split", expTable4},
 	{"candreduction", "section IV-A: cumulative candidate modes vs partition size", expCandReduction},
 	{"memory", "section IV-B: per-node memory, Algorithm 2 vs Algorithm 3", expMemory},
+	{"workers", "shared-memory worker scaling of candidate generation (writes BENCH_efm.json)", expWorkers},
 }
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments")
 		full    = flag.Bool("full", false, "run the complete yeast workloads (CPU-minutes to hours)")
 		nodes   = flag.String("nodes", "1,2,4,8,16", "node counts for scaling tables")
+		workers = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
+		jsonOut = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
 		budget  = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		verbose = flag.Bool("v", false, "progress to stderr")
 	)
@@ -65,13 +70,20 @@ func main() {
 		}
 		return
 	}
-	cfg := benchConfig{full: *full, budget: *budget, verbose: *verbose}
+	cfg := benchConfig{full: *full, budget: *budget, verbose: *verbose, jsonPath: *jsonOut}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
 			fatal(fmt.Errorf("bad -nodes entry %q", part))
 		}
 		cfg.nodes = append(cfg.nodes, n)
+	}
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -workers entry %q", part))
+		}
+		cfg.workers = append(cfg.workers, n)
 	}
 
 	ran := 0

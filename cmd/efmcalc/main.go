@@ -26,6 +26,7 @@ func main() {
 		file      = flag.String("file", "", "network file in reaction-equation format")
 		algorithm = flag.String("algorithm", "serial", "serial | parallel | dnc")
 		nodes     = flag.Int("nodes", 1, "simulated compute nodes (parallel, dnc)")
+		workers   = flag.Int("workers", 0, "shared-memory workers per engine/node (0 = all cores)")
 		qsub      = flag.Int("qsub", 2, "divide-and-conquer partition size")
 		partition = flag.String("partition", "", "comma-separated partition reaction names (dnc)")
 		test      = flag.String("test", "rank", "elementarity test: rank | tree")
@@ -47,6 +48,7 @@ func main() {
 
 	cfg := elmocomp.Config{
 		Nodes:                  *nodes,
+		Workers:                *workers,
 		Qsub:                   *qsub,
 		OverTCP:                *tcp,
 		KeepDuplicateReactions: *keepDup,

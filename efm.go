@@ -135,6 +135,12 @@ type Config struct {
 	// Nodes is the simulated compute-node count for Parallel and
 	// DivideAndConquer (default 1).
 	Nodes int
+	// Workers is the shared-memory worker count used for candidate
+	// generation and merging — per engine for Serial, per simulated node
+	// for Parallel and DivideAndConquer. 0 means GOMAXPROCS; 1 runs
+	// single-threaded. The computed modes are bit-identical for every
+	// worker count.
+	Workers int
 	// Qsub is the divide-and-conquer partition size (default 2).
 	Qsub int
 	// Partition names the partition reactions explicitly (overrides
@@ -444,6 +450,7 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 	copts := core.Options{
 		Tol:      cfg.Tolerance,
 		MaxModes: cfg.MaxIntermediateModes,
+		Workers:  cfg.Workers,
 	}
 	if cfg.Test == CombinatorialTest {
 		copts.Test = core.CombinatorialTest

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -38,6 +39,12 @@ type Options struct {
 	// MaxModes aborts the run with an error if an intermediate set
 	// exceeds this many columns (a memory guard). 0 means unlimited.
 	MaxModes int
+	// Workers is the number of shared-memory worker goroutines used for
+	// candidate generation and merging within one engine (or, in the
+	// distributed drivers, within one compute node). 0 means GOMAXPROCS;
+	// 1 runs single-threaded. Results are bit-identical for every worker
+	// count: same modes, same values, same canonical order.
+	Workers int
 	// Trace, when set, is invoked after every iteration with the
 	// iteration statistics and the new mode set (used to print the
 	// paper's Figure 2 trace).
@@ -49,6 +56,13 @@ func (o Options) tol() float64 {
 		return o.Tol
 	}
 	return linalg.DefaultTol
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // IterStats records one iteration of the algorithm.
@@ -132,7 +146,10 @@ func InitialModeSet(p *nullspace.Problem, tol float64) *ModeSet {
 	return set
 }
 
-// Run executes the serial Nullspace Algorithm (Algorithm 1).
+// Run executes the Nullspace Algorithm (Algorithm 1). With
+// Options.Workers != 1 the per-row pair sweep and the sorted merge run on
+// a shared-memory worker pool; the result is bit-identical to the
+// single-threaded engine.
 func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 	if opts.Test == CombinatorialTest {
 		for _, r := range p.Rev {
@@ -147,12 +164,11 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 		last = p.Q()
 	}
 	res := &Result{Problem: p, Modes: set}
-	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	pool := NewPool(p, opts.workers())
 	for row := p.D; row < last; row++ {
 		it := BeginRow(p, set, row, opts)
-		cands := it.NewCandidateSet()
-		it.GenerateInto(cands, ws, 0, it.Pairs(), &it.Stats)
-		next, err := it.AssembleNext(cands)
+		cands := pool.GenerateRange(it, 0, it.Pairs(), &it.Stats)
+		next, err := pool.AssembleNext(it, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -248,8 +264,21 @@ func (it *RowIter) NewCandidateSet() *ModeSet {
 // the pair space may be generated concurrently into distinct
 // (cands, ws, st) triples; the RowIter itself is read-only here.
 func (it *RowIter) GenerateInto(cands *ModeSet, ws *linalg.Workspace, from, to int64, st *IterStats) {
+	it.GenerateIntoScratch(cands, ws, from, to, st, nil)
+}
+
+// GenerateIntoScratch is GenerateInto with caller-owned scratch buffers,
+// so repeated rows and chunks stop re-allocating the per-call masks and
+// combination buffers. sc may be nil (a fresh scratch is used). Like the
+// (cands, ws, st) triple, a GenScratch must not be shared between
+// concurrent calls — in particular the sampled test timer keys off
+// st.Tested, which is only meaningful as a worker-local counter.
+func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, from, to int64, st *IterStats, sc *GenScratch) {
 	if len(it.Neg) == 0 || len(it.Pos) == 0 || from >= to {
 		return
+	}
+	if sc == nil {
+		sc = &GenScratch{}
 	}
 	t0 := time.Now()
 	tol := it.opts.tol()
@@ -266,16 +295,20 @@ func (it *RowIter) GenerateInto(cands *ModeSet, ws *linalg.Workspace, from, to i
 	// point implementation of the candidate filters makes; the exact
 	// bound is re-applied after the numeric combination.
 	prefixBound := it.Row - it.Problem.D + 2
-	prefixMask := make([]uint64, words)
+	prefixMask := growUint64(&sc.prefixMask, words)
+	clear(prefixMask)
 	for r := 0; r <= it.Row; r++ {
 		prefixMask[r/64] |= 1 << uint(r%64)
 	}
 
 	tailLen := set.TailLen()
-	newTail := make([]float64, tailLen-1)
-	newRev := make([]float64, len(it.nextRev))
-	orWords := make([]uint64, words)
-	supportIdx := make([]int, 0, maxSupport+4)
+	newTail := growFloat64(&sc.newTail, tailLen-1)
+	newRev := growFloat64(&sc.newRev, len(it.nextRev))
+	orWords := growUint64(&sc.orWords, words)
+	if cap(sc.supportIdx) < maxSupport+4 {
+		sc.supportIdx = make([]int, 0, maxSupport+4)
+	}
+	supportIdx := sc.supportIdx
 
 	var testSeconds float64
 	var sampledTests, timedTests int64
@@ -408,18 +441,65 @@ func (it *RowIter) GenerateInto(cands *ModeSet, ws *linalg.Workspace, from, to i
 		}
 		kn = 0
 	}
-	if sampledTests > 0 {
-		testSeconds *= float64(timedTests) / float64(sampledTests)
-	}
-	// The sampled extrapolation can exceed the measured total on tiny
-	// workloads; keep the split non-negative.
-	total := time.Since(t0).Seconds()
-	if testSeconds > total {
-		testSeconds = total
-	}
+	// Extrapolation happens here, per call — i.e. per worker when the
+	// pair space is sharded — with the call-local sampled/timed counters.
+	// Folding workers together afterwards just sums the per-worker
+	// TestSeconds; scaling a shared counter would double-count.
+	testSec, genSec := extrapolateSampled(time.Since(t0).Seconds(), testSeconds, sampledTests, timedTests)
 	st.Pairs += to - from
-	st.TestSeconds += testSeconds
-	st.GenSeconds += total - testSeconds
+	st.TestSeconds += testSec
+	st.GenSeconds += genSec
+}
+
+// extrapolateSampled scales the sampled rank-test seconds up to the full
+// test count and splits the measured wall time of one GenerateInto call
+// into (test, gen) parts. The extrapolation can exceed the measured wall
+// time on tiny workloads; the split is clamped so both parts stay
+// non-negative. Exposed as a pure function so the sharded-timer
+// accounting is unit-testable.
+func extrapolateSampled(wall, sampledSeconds float64, sampledTests, totalTests int64) (testSec, genSec float64) {
+	if sampledTests > 0 {
+		sampledSeconds *= float64(totalTests) / float64(sampledTests)
+	}
+	if sampledSeconds > wall {
+		sampledSeconds = wall
+	}
+	if sampledSeconds < 0 {
+		sampledSeconds = 0
+	}
+	return sampledSeconds, wall - sampledSeconds
+}
+
+// candRef addresses one candidate inside a slice of candidate sets.
+type candRef struct{ set, idx int32 }
+
+// compareRefs orders candidates by support (most significant word first)
+// with generation order — set, then index — as the tie-break. The order
+// is total, so the serial sort and the worker pool's k-way merge agree on
+// it exactly; equal-support duplicates always resolve to the candidate
+// generated first.
+func compareRefs(candSets []*ModeSet, a, b candRef) int {
+	wa := candSets[a.set].BitsWords(int(a.idx))
+	wb := candSets[b.set].BitsWords(int(b.idx))
+	for k := len(wa) - 1; k >= 0; k-- {
+		switch {
+		case wa[k] < wb[k]:
+			return -1
+		case wa[k] > wb[k]:
+			return 1
+		}
+	}
+	switch {
+	case a.set != b.set:
+		return int(a.set) - int(b.set)
+	default:
+		return int(a.idx) - int(b.idx)
+	}
+}
+
+// sameSupportRef reports whether two refs carry identical supports.
+func sameSupportRef(candSets []*ModeSet, a, b candRef) bool {
+	return equalWords(candSets[a.set].BitsWords(int(a.idx)), candSets[b.set].BitsWords(int(b.idx)))
 }
 
 // AssembleNext merges the surviving old columns with the deduplicated
@@ -427,16 +507,28 @@ func (it *RowIter) GenerateInto(cands *ModeSet, ws *linalg.Workspace, from, to i
 // distributed drivers) into the next iteration's mode set.
 func (it *RowIter) AssembleNext(candSets ...*ModeSet) (*ModeSet, error) {
 	t0 := time.Now()
+	// Global candidate ordering by support (the paper's
+	// Sort&RemoveDuplicates; across sets this is the merge half of
+	// Communicate&Merge).
+	var refs []candRef
+	for si, cs := range candSets {
+		for i := 0; i < cs.Len(); i++ {
+			refs = append(refs, candRef{int32(si), int32(i)})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool { return compareRefs(candSets, refs[a], refs[b]) < 0 })
+	return it.assemble(candSets, refs, t0)
+}
+
+// assemble builds the next iteration's mode set from the survivors and a
+// support-sorted candidate order (deduplicating as it copies).
+func (it *RowIter) assemble(candSets []*ModeSet, refs []candRef, t0 time.Time) (*ModeSet, error) {
 	next := NewModeSet(it.Set.Q(), it.Row+1, it.nextRev)
 	survivors := len(it.Zero) + len(it.Pos)
 	if it.Reversible {
 		survivors += len(it.Neg)
 	}
-	total := survivors
-	for _, cs := range candSets {
-		total += cs.Len()
-	}
-	next.Grow(total)
+	next.Grow(survivors + len(refs))
 	// Survivor supports, hashed, so candidates that re-derive a kept ray
 	// can be dropped: a rank-passed candidate's support submatrix has a
 	// one-dimensional kernel, so any kept column with the same support
@@ -459,36 +551,12 @@ func (it *RowIter) AssembleNext(candSets ...*ModeSet) (*ModeSet, error) {
 		}
 	}
 
-	// Global candidate deduplication by support (the paper's
-	// Sort&RemoveDuplicates; across sets this is the merge half of
-	// Communicate&Merge).
-	type ref struct{ set, idx int }
-	var refs []ref
-	for si, cs := range candSets {
-		for i := 0; i < cs.Len(); i++ {
-			refs = append(refs, ref{si, i})
-		}
-	}
-	cmp := func(a, b ref) int {
-		wa := candSets[a.set].BitsWords(a.idx)
-		wb := candSets[b.set].BitsWords(b.idx)
-		for k := len(wa) - 1; k >= 0; k-- {
-			switch {
-			case wa[k] < wb[k]:
-				return -1
-			case wa[k] > wb[k]:
-				return 1
-			}
-		}
-		return 0
-	}
-	sort.Slice(refs, func(a, b int) bool { return cmp(refs[a], refs[b]) < 0 })
 	for i, r := range refs {
-		if i > 0 && cmp(refs[i-1], r) == 0 {
+		if i > 0 && sameSupportRef(candSets, refs[i-1], r) {
 			it.Stats.Duplicates++
 			continue
 		}
-		words := candSets[r.set].BitsWords(r.idx)
+		words := candSets[r.set].BitsWords(int(r.idx))
 		dup := false
 		for _, j := range survivorIdx[hashWords(words)] {
 			if equalWords(words, next.BitsWords(j)) {
@@ -500,7 +568,7 @@ func (it *RowIter) AssembleNext(candSets ...*ModeSet) (*ModeSet, error) {
 			it.Stats.Duplicates++
 			continue
 		}
-		next.CopyModeFrom(candSets[r.set], r.idx)
+		next.CopyModeFrom(candSets[r.set], int(r.idx))
 	}
 	it.Stats.ModesOut = next.Len()
 	it.Stats.MergeSeconds += time.Since(t0).Seconds()

@@ -148,13 +148,51 @@ func (s *ModeSet) Grow(extra int) {
 }
 
 // appendRaw adds one mode and returns its index; the caller fills the
-// returned slices.
+// returned slices. Bit words come back zeroed; value slots are returned
+// as-is because every append path overwrites the full stride.
 func (s *ModeSet) appendRaw() (idx int, bits []uint64, vals []float64) {
-	s.bits = append(s.bits, make([]uint64, s.words)...)
-	s.vals = append(s.vals, make([]float64, s.stride())...)
 	idx = s.n
 	s.n++
+	if nb := s.n * s.words; cap(s.bits) >= nb {
+		s.bits = s.bits[:nb]
+		clear(s.bits[idx*s.words : nb])
+	} else {
+		s.bits = append(s.bits, make([]uint64, s.words)...)
+	}
+	if nv := s.n * s.stride(); cap(s.vals) >= nv {
+		s.vals = s.vals[:nv]
+	} else {
+		s.vals = append(s.vals, make([]float64, s.stride())...)
+	}
 	return idx, s.bits[idx*s.words:], s.vals[idx*s.stride():]
+}
+
+// Reset empties the set in place, adopting a new layout while keeping the
+// allocated bit and value storage. It is the allocation-free counterpart
+// of NewModeSet, used by the worker pool to recycle candidate sets across
+// rows.
+func (s *ModeSet) Reset(q, firstRow int, revRows []int) {
+	if firstRow < 0 || firstRow > q {
+		panic(fmt.Sprintf("core: firstRow %d out of [0,%d]", firstRow, q))
+	}
+	s.q = q
+	s.words = (q + 63) / 64
+	s.firstRow = firstRow
+	s.revRows = append(s.revRows[:0], revRows...)
+	s.n = 0
+	s.bits = s.bits[:0]
+	s.vals = s.vals[:0]
+}
+
+// AppendSet bulk-appends every mode of src, which must share s's layout.
+// Used to concatenate per-worker candidate sets in generation order.
+func (s *ModeSet) AppendSet(src *ModeSet) {
+	if src.q != s.q || src.firstRow != s.firstRow || len(src.revRows) != len(s.revRows) {
+		panic("core: AppendSet layout mismatch")
+	}
+	s.bits = append(s.bits, src.bits[:src.n*src.words]...)
+	s.vals = append(s.vals, src.vals[:src.n*src.stride()]...)
+	s.n += src.n
 }
 
 // AppendMode adds a mode given its tail and reversible values, deriving

@@ -1,0 +1,243 @@
+// Shared-memory parallel execution layer for the Nullspace Algorithm:
+// a worker pool that shards one row's |Pos|×|Neg| pair sweep into
+// contiguous chunks of the pair range, generates candidates per worker
+// into private (ModeSet, Workspace, IterStats, GenScratch) state reused
+// across rows, then merges the per-worker results with a parallel
+// sorted-by-support k-way merge.
+//
+// Determinism: pair k of a row always combines Pos[k/|Neg|] with
+// Neg[k%|Neg|], chunks are contiguous and ordered, and the merge orders
+// candidates by the total order (support, generation position) — so the
+// final mode set is bit-identical for every worker count, and every
+// serial invariant test doubles as a correctness oracle for this layer.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"elmocomp/internal/linalg"
+	"elmocomp/internal/nullspace"
+)
+
+// GenScratch holds the per-call buffers of GenerateInto, hoisted so a
+// worker can reuse them across rows and chunks. The zero value is ready
+// to use. Not safe for concurrent use; give each worker its own.
+type GenScratch struct {
+	prefixMask []uint64
+	orWords    []uint64
+	newTail    []float64
+	newRev     []float64
+	supportIdx []int
+}
+
+// growUint64 reslices *buf to n words, reallocating only when the
+// retained capacity is too small. Contents are unspecified.
+func growUint64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growFloat64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// poolWorker is the private state of one shared-memory worker.
+type poolWorker struct {
+	cands *ModeSet
+	ws    *linalg.Workspace
+	sc    GenScratch
+	st    IterStats
+	run   []candRef // sorted candidate refs, reused across rows
+}
+
+// Pool is a reusable shared-memory worker pool for one enumeration run
+// (or one simulated compute node of the distributed drivers). It owns
+// per-worker candidate sets, rank-test workspaces and generation scratch,
+// all recycled across rows so the steady state allocates only for mode
+// growth. A Pool is not safe for concurrent use by multiple goroutines;
+// each node of the cluster driver builds its own.
+type Pool struct {
+	problem *nullspace.Problem
+	workers []*poolWorker
+	sets    []*ModeSet // GenerateRange result slice, reused
+}
+
+// NewPool returns a pool with the given worker count; workers <= 0 means
+// GOMAXPROCS.
+func NewPool(p *nullspace.Problem, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pl := &Pool{problem: p}
+	for i := 0; i < workers; i++ {
+		pl.workers = append(pl.workers, &poolWorker{
+			ws: linalg.NewWorkspace(p.M()+2, p.M()+2),
+		})
+	}
+	pl.sets = make([]*ModeSet, workers)
+	return pl
+}
+
+// Workers returns the pool's worker count.
+func (pl *Pool) Workers() int { return len(pl.workers) }
+
+// addGenStats folds the generation-side counters and phase seconds of src
+// into dst: counters and CPU seconds sum (the same convention the
+// distributed drivers use across nodes); merge-side fields are left
+// untouched.
+func addGenStats(dst, src *IterStats) {
+	dst.Pairs += src.Pairs
+	dst.Prefiltered += src.Prefiltered
+	dst.Tested += src.Tested
+	dst.Accepted += src.Accepted
+	dst.GenSeconds += src.GenSeconds
+	dst.TestSeconds += src.TestSeconds
+}
+
+// GenerateRange generates the candidates for pair indices [from, to) of
+// the row, sharding the range into contiguous chunks across the pool's
+// workers. Per-worker counters and sampled phase seconds are summed into
+// st. The returned sets — one per worker, in chunk order, so their
+// concatenation is exactly the serial generation order — remain owned by
+// the pool and are valid until the next GenerateRange call.
+func (pl *Pool) GenerateRange(it *RowIter, from, to int64, st *IterStats) []*ModeSet {
+	n := len(pl.workers)
+	if to < from {
+		to = from
+	}
+	for i, w := range pl.workers {
+		w.cands = it.ResetCandidateSet(w.cands)
+		w.st = IterStats{}
+		pl.sets[i] = w.cands
+	}
+	span := to - from
+	if n == 1 || span == 0 {
+		w := pl.workers[0]
+		it.GenerateIntoScratch(w.cands, w.ws, from, to, &w.st, &w.sc)
+		addGenStats(st, &w.st)
+		return pl.sets
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(w *poolWorker, lo, hi int64) {
+			defer wg.Done()
+			it.GenerateIntoScratch(w.cands, w.ws, lo, hi, &w.st, &w.sc)
+		}(pl.workers[i], from+span*int64(i)/int64(n), from+span*int64(i+1)/int64(n))
+	}
+	w0 := pl.workers[0]
+	it.GenerateIntoScratch(w0.cands, w0.ws, from, from+span/int64(n), &w0.st, &w0.sc)
+	wg.Wait()
+	for _, w := range pl.workers {
+		addGenStats(st, &w.st)
+	}
+	return pl.sets
+}
+
+// AssembleNext is the pool-parallel counterpart of RowIter.AssembleNext:
+// each candidate set is sorted by support on its own worker, the sorted
+// runs are k-way merged under the same total order the serial sort uses,
+// and cross-worker duplicates collapse during assembly. candSets may be
+// the pool's own GenerateRange output or any other sets with the next
+// iteration's layout (the cluster driver passes the decoded per-node
+// sets). The result is bit-identical to RowIter.AssembleNext.
+func (pl *Pool) AssembleNext(it *RowIter, candSets []*ModeSet) (*ModeSet, error) {
+	t0 := time.Now()
+	runs := make([][]candRef, len(candSets))
+	sortRun := func(si int) {
+		cs := candSets[si]
+		var buf []candRef
+		if si < len(pl.workers) {
+			buf = pl.workers[si].run[:0]
+		}
+		for i := 0; i < cs.Len(); i++ {
+			buf = append(buf, candRef{int32(si), int32(i)})
+		}
+		// Within one set the tie-break (set, idx) reduces to idx, so the
+		// per-run sort already realizes the global total order.
+		sortRefs(candSets, buf)
+		if si < len(pl.workers) {
+			pl.workers[si].run = buf
+		}
+		runs[si] = buf
+	}
+	if len(pl.workers) == 1 || len(candSets) == 1 {
+		for si := range candSets {
+			sortRun(si)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for si := range candSets {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sortRun(si)
+			}(si)
+		}
+		wg.Wait()
+	}
+	return it.assemble(candSets, mergeRuns(candSets, runs), t0)
+}
+
+// sortRefs sorts refs by the global candidate total order.
+func sortRefs(candSets []*ModeSet, refs []candRef) {
+	sort.Slice(refs, func(a, b int) bool { return compareRefs(candSets, refs[a], refs[b]) < 0 })
+}
+
+// mergeRuns k-way merges per-set sorted runs into one globally sorted ref
+// sequence. Runs are few (one per worker or per node), so a linear head
+// scan beats heap bookkeeping.
+func mergeRuns(candSets []*ModeSet, runs [][]candRef) []candRef {
+	total := 0
+	nonEmpty := 0
+	last := -1
+	for si, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+			last = si
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return runs[last]
+	}
+	out := make([]candRef, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for si := range runs {
+			if heads[si] >= len(runs[si]) {
+				continue
+			}
+			if best < 0 || compareRefs(candSets, runs[si][heads[si]], runs[best][heads[best]]) < 0 {
+				best = si
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// ResetCandidateSet recycles set into the layout NewCandidateSet would
+// produce, retaining its storage; a nil set is allocated fresh.
+func (it *RowIter) ResetCandidateSet(set *ModeSet) *ModeSet {
+	if set == nil {
+		return it.NewCandidateSet()
+	}
+	set.Reset(it.Set.Q(), it.Row+1, it.nextRev)
+	return set
+}

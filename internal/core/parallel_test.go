@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"elmocomp/internal/linalg"
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+// fixtureProblems builds the determinism fixtures: the paper's toy
+// network plus a few deterministic synthetic networks of varying shape.
+func fixtureProblems(t *testing.T) map[string]*nullspace.Problem {
+	t.Helper()
+	nets := map[string]*model.Network{"toy": model.Toy()}
+	for _, ps := range []synth.Params{
+		{Layers: 3, Width: 3, CrossLinks: 3, ReversibleFraction: 0.3, MaxCoef: 2, Seed: 1},
+		{Layers: 4, Width: 3, CrossLinks: 5, ReversibleFraction: 0.2, MaxCoef: 2, Seed: 7},
+		{Layers: 3, Width: 4, CrossLinks: 6, ReversibleFraction: 0.4, MaxCoef: 2, Seed: 11},
+	} {
+		n, err := synth.Network(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[n.Name] = n
+	}
+	out := make(map[string]*nullspace.Problem)
+	for name, n := range nets {
+		red, err := reduce.Network(n, reduce.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// requireIdenticalSets asserts two mode sets are bit-identical: same
+// count, same supports in the same order, and exactly equal values.
+func requireIdenticalSets(t *testing.T, label string, want, got *ModeSet) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d modes, want %d", label, got.Len(), want.Len())
+	}
+	if got.FirstRow() != want.FirstRow() {
+		t.Fatalf("%s: FirstRow %d, want %d", label, got.FirstRow(), want.FirstRow())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if !equalWords(want.BitsWords(i), got.BitsWords(i)) {
+			t.Fatalf("%s: mode %d support differs", label, i)
+		}
+		wt, gt := want.Tail(i), got.Tail(i)
+		for j := range wt {
+			if wt[j] != gt[j] {
+				t.Fatalf("%s: mode %d tail[%d] = %v, want %v", label, i, j, gt[j], wt[j])
+			}
+		}
+		wr, gr := want.RevVals(i), got.RevVals(i)
+		for j := range wr {
+			if wr[j] != gr[j] {
+				t.Fatalf("%s: mode %d rev[%d] = %v, want %v", label, i, j, gr[j], wr[j])
+			}
+		}
+	}
+}
+
+// TestWorkersDeterminism: every worker count must produce a mode set
+// bit-identical to the single-threaded engine — same modes, same
+// canonical order, same float values — on all fixture networks. Run in
+// CI under -race to also exercise the pool's synchronization.
+func TestWorkersDeterminism(t *testing.T) {
+	for name, p := range fixtureProblems(t) {
+		serial, err := Run(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		for _, workers := range []int{2, 3, 4, 5, 8} {
+			res, err := Run(p, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			requireIdenticalSets(t, name, serial.Modes, res.Modes)
+			// Counter aggregation must be exact, not approximate.
+			for i, s := range res.Stats {
+				ref := serial.Stats[i]
+				if s.Pairs != ref.Pairs || s.Prefiltered != ref.Prefiltered ||
+					s.Tested != ref.Tested || s.Accepted != ref.Accepted ||
+					s.Duplicates != ref.Duplicates || s.ModesOut != ref.ModesOut {
+					t.Fatalf("%s workers=%d row %d: counters diverge:\n got %+v\nwant %+v",
+						name, workers, i, s, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDeterminismCombinatorial covers the bit-pattern-tree test
+// path (concurrent read-only tree queries) for worker independence.
+func TestWorkersDeterminismCombinatorial(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(p, Options{Workers: 1, Test: CombinatorialTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := Run(p, Options{Workers: workers, Test: CombinatorialTest})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireIdenticalSets(t, "toy/tree", serial.Modes, res.Modes)
+	}
+}
+
+// TestGenerateRangeMatchesGenerateInto: sharding the pair range must
+// reproduce the single-call candidate sequence and counters exactly.
+func TestGenerateRangeMatchesGenerateInto(t *testing.T) {
+	p := fixtureProblems(t)["toy"]
+	opts := Options{}
+	set := InitialModeSet(p, opts.tol())
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	for row := p.D; row < p.Q(); row++ {
+		it := BeginRow(p, set, row, opts)
+		whole := it.NewCandidateSet()
+		var wholeStats IterStats
+		it.GenerateInto(whole, ws, 0, it.Pairs(), &wholeStats)
+
+		pool := NewPool(p, 3)
+		var shardStats IterStats
+		sets := pool.GenerateRange(it, 0, it.Pairs(), &shardStats)
+		concat := it.NewCandidateSet()
+		for _, s := range sets {
+			concat.AppendSet(s)
+		}
+		requireIdenticalSets(t, "concat", whole, concat)
+		if shardStats.Pairs != wholeStats.Pairs || shardStats.Prefiltered != wholeStats.Prefiltered ||
+			shardStats.Tested != wholeStats.Tested || shardStats.Accepted != wholeStats.Accepted {
+			t.Fatalf("row %d: sharded counters %+v, want %+v", row, shardStats, wholeStats)
+		}
+
+		next, err := it.AssembleNext(whole)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set = next
+	}
+}
+
+// TestPoolAssembleMatchesSerialAssemble: the parallel sorted k-way merge
+// must agree bit-for-bit with the serial sort-based AssembleNext, for the
+// pool's own shards and for externally supplied (cluster-style) sets.
+func TestPoolAssembleMatchesSerialAssemble(t *testing.T) {
+	p := fixtureProblems(t)["toy"]
+	opts := Options{}
+	set := InitialModeSet(p, opts.tol())
+	for row := p.D; row < p.Q(); row++ {
+		itSerial := BeginRow(p, set, row, opts)
+		itPool := BeginRow(p, set, row, opts)
+		pool := NewPool(p, 4)
+		var st IterStats
+		sets := pool.GenerateRange(itPool, 0, itPool.Pairs(), &st)
+
+		// Serial reference over the identical shard sets.
+		want, err := itSerial.AssembleNext(sets...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.AssembleNext(itPool, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalSets(t, "assemble", want, got)
+		if itSerial.Stats.Duplicates != itPool.Stats.Duplicates {
+			t.Fatalf("row %d: duplicates %d, want %d", row, itPool.Stats.Duplicates, itSerial.Stats.Duplicates)
+		}
+		set = got
+	}
+}
+
+// TestExtrapolateSampled pins down the sampled test-timer arithmetic:
+// scaling by timed/sampled, clamping into [0, wall], and the no-sample
+// passthrough.
+func TestExtrapolateSampled(t *testing.T) {
+	cases := []struct {
+		wall, sampledSec  float64
+		sampled, total    int64
+		wantTest, wantGen float64
+	}{
+		// 1-in-64 sampling: 0.01s over 2 of 128 tests → 0.64s of 1s wall.
+		{1.0, 0.01, 2, 128, 0.64, 0.36},
+		// No rank tests sampled (tree path measures fully): passthrough.
+		{1.0, 0.25, 0, 0, 0.25, 0.75},
+		// Extrapolation exceeding the wall clamps to it.
+		{0.5, 0.02, 1, 64, 0.5, 0.0},
+		// Nothing tested at all.
+		{0.3, 0, 0, 0, 0, 0.3},
+	}
+	for i, c := range cases {
+		gotTest, gotGen := extrapolateSampled(c.wall, c.sampledSec, c.sampled, c.total)
+		if math.Abs(gotTest-c.wantTest) > 1e-12 || math.Abs(gotGen-c.wantGen) > 1e-12 {
+			t.Fatalf("case %d: got (%v, %v), want (%v, %v)", i, gotTest, gotGen, c.wantTest, c.wantGen)
+		}
+		if gotTest < 0 || gotGen < 0 {
+			t.Fatalf("case %d: negative split (%v, %v)", i, gotTest, gotGen)
+		}
+	}
+}
+
+// TestSampledTimerSharded audits the satellite's concern: sharding the
+// pair space across per-worker IterStats must keep the extrapolated
+// TestSeconds well-formed — each worker extrapolates from its own
+// sampled/timed counters and the combination sums, never re-scales.
+func TestSampledTimerSharded(t *testing.T) {
+	p := fixtureProblems(t)["toy"]
+	opts := Options{}
+	serial, err := Run(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialTested, shardTested int64
+	for i := range res.Stats {
+		serialTested += serial.Stats[i].Tested
+		shardTested += res.Stats[i].Tested
+		s := res.Stats[i]
+		if s.TestSeconds < 0 || s.GenSeconds < 0 {
+			t.Fatalf("row %d: negative phase seconds %+v", i, s)
+		}
+	}
+	if shardTested != serialTested {
+		t.Fatalf("sharded Tested %d != serial %d", shardTested, serialTested)
+	}
+	_ = opts
+}
+
+// TestModeSetResetReuse: Reset must produce a set indistinguishable from
+// a fresh NewModeSet while retaining storage capacity.
+func TestModeSetResetReuse(t *testing.T) {
+	s := NewModeSet(130, 3, []int{1})
+	tail := make([]float64, s.TailLen())
+	rev := []float64{0.5}
+	for i := range tail {
+		tail[i] = float64(i%5) - 2
+	}
+	for i := 0; i < 20; i++ {
+		s.AppendMode(nil, tail, rev, 1e-9)
+	}
+	bitsCap, valsCap := cap(s.bits), cap(s.vals)
+	s.Reset(130, 4, []int{1, 3})
+	if s.Len() != 0 || s.FirstRow() != 4 || len(s.RevRows()) != 2 {
+		t.Fatalf("reset layout wrong: len=%d firstRow=%d revRows=%v", s.Len(), s.FirstRow(), s.RevRows())
+	}
+	if cap(s.bits) != bitsCap || cap(s.vals) != valsCap {
+		t.Fatalf("reset dropped storage: bits %d->%d, vals %d->%d", bitsCap, cap(s.bits), valsCap, cap(s.vals))
+	}
+	// Stale bits must not leak into re-appended modes (nil prefix path).
+	tail2 := make([]float64, s.TailLen())
+	idx := s.AppendMode(nil, tail2, []float64{0, 0}, 1e-9)
+	for w, word := range s.BitsWords(idx) {
+		if word != 0 {
+			t.Fatalf("stale bits after reset: word %d = %x", w, word)
+		}
+	}
+}
+
+// TestGenerateScratchReuseAllocs: with a warmed scratch, candidate set
+// and workspace, regenerating a row must not allocate on the hot path.
+func TestGenerateScratchReuseAllocs(t *testing.T) {
+	p := fixtureProblems(t)["toy"]
+	opts := Options{}
+	res, err := Run(p, Options{Workers: 1, LastRow: p.D + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.Modes
+	it := BeginRow(p, set, set.FirstRow(), opts)
+	if it.Pairs() == 0 {
+		t.Skip("no pairs at this row")
+	}
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	var sc GenScratch
+	cands := it.NewCandidateSet()
+	var st IterStats
+	// Warm-up grows cands to its steady-state capacity.
+	it.GenerateIntoScratch(cands, ws, 0, it.Pairs(), &st, &sc)
+	allocs := testing.AllocsPerRun(10, func() {
+		cands = it.ResetCandidateSet(cands)
+		var st IterStats
+		it.GenerateIntoScratch(cands, ws, 0, it.Pairs(), &st, &sc)
+	})
+	if allocs > 2 {
+		t.Fatalf("hot generation path allocates %.1f objects per row, want ≤2", allocs)
+	}
+}
+
+// TestPoolWorkersDefault: Workers <= 0 resolves to GOMAXPROCS.
+func TestPoolWorkersDefault(t *testing.T) {
+	p := fixtureProblems(t)["toy"]
+	if got := NewPool(p, 0).Workers(); got < 1 {
+		t.Fatalf("default pool has %d workers", got)
+	}
+	if got := NewPool(p, 5).Workers(); got != 5 {
+		t.Fatalf("explicit pool has %d workers, want 5", got)
+	}
+}

@@ -36,7 +36,9 @@ type Options struct {
 	// (node count, elementarity test, tolerance). Core.LastRow is
 	// managed by this driver and must be zero. Core.MaxModes, when set,
 	// is the per-subproblem intermediate budget that triggers adaptive
-	// re-splitting.
+	// re-splitting. Core.Workers sets the shared-memory worker count of
+	// every simulated node in every subproblem enumeration (0 =
+	// GOMAXPROCS), giving the full node×core hybrid decomposition.
 	Parallel parallel.Options
 	// Partition lists the partition reactions as column indices of the
 	// input matrix. Empty means: choose Qsub reactions automatically

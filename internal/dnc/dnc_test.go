@@ -343,3 +343,25 @@ func TestMultiNodeDnc(t *testing.T) {
 		t.Fatalf("multi-node D&C union differs:\n got %s\nwant %s", got, want)
 	}
 }
+
+func TestWorkersMatchSerialDnC(t *testing.T) {
+	// The shared-memory worker layer inside each subproblem enumeration
+	// must not change the divide-and-conquer union.
+	red := toyReduced(t)
+	want := keysOf(serialSupports(t, red.N, red.Reversibilities()))
+	for _, workers := range []int{2, 4} {
+		res, err := Run(red.N, red.Reversibilities(), Options{
+			Qsub: 2,
+			Parallel: parallel.Options{
+				Nodes: 2,
+				Core:  core.Options{Workers: workers},
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := keysOf(res.Supports); got != want {
+			t.Fatalf("workers=%d: union differs from serial\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}

@@ -187,26 +187,39 @@ type nodeResult struct {
 	peakBytes int64
 }
 
-// runNode is the per-node main loop of Algorithm 2.
+// runNode is the per-node main loop of Algorithm 2. Within the node,
+// candidate generation and the sorted merge run on a shared-memory worker
+// pool (core.Options.Workers per node) — the hybrid distributed×multicore
+// decomposition. Phase attribution is unchanged: per-worker gen/test CPU
+// seconds sum into the node's GenCand/RankTest rows, the parallel merge
+// wall time lands in Merge, so the Table II reporting stays honest.
 func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last int) (*nodeResult, error) {
 	nr := &nodeResult{}
 	set := core.InitialModeSet(p, tolOf(copts))
-	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	pool := core.NewPool(p, copts.Workers)
 	rank, size := comm.Rank(), comm.Size()
+	var local *core.ModeSet
 
 	for row := p.D; row < last; row++ {
 		it := core.BeginRow(p, set, row, copts)
 
 		// ParallelGenerateEFMCands: this node's combinatorial slice of
-		// the pair space (contiguous block decomposition).
+		// the pair space (contiguous block decomposition), sharded once
+		// more across the node's workers.
 		pairs := it.Pairs()
 		from := pairs * int64(rank) / int64(size)
 		to := pairs * int64(rank+1) / int64(size)
-		local := it.NewCandidateSet()
 		var genStats core.IterStats
-		it.GenerateInto(local, ws, from, to, &genStats)
+		workerSets := pool.GenerateRange(it, from, to, &genStats)
 		nr.phases.GenCand += genStats.GenSeconds
 		nr.phases.RankTest += genStats.TestSeconds
+
+		// Concatenate the per-worker sets — in chunk order, preserving
+		// the node slice's generation order — into the wire payload.
+		local = it.ResetCandidateSet(local)
+		for _, wset := range workerSets {
+			local.AppendSet(wset)
+		}
 
 		// Communicate: allgather the surviving local candidates.
 		commTimer := newTimer()
@@ -217,8 +230,8 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 		nr.phases.Communicate += commTimer.seconds()
 
 		// Merge: decode every node's candidates and rebuild the
-		// replicated next matrix (global duplicate removal inside
-		// AssembleNext).
+		// replicated next matrix (global duplicate removal inside the
+		// pool's parallel sorted merge).
 		candSets := make([]*core.ModeSet, len(payloads))
 		for i, pl := range payloads {
 			if i == rank {
@@ -232,7 +245,7 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 			candSets[i] = cs
 		}
 		it.MergeStats(&genStats)
-		next, err := it.AssembleNext(candSets...)
+		next, err := pool.AssembleNext(it, candSets)
 		if err != nil {
 			return nil, err
 		}

@@ -203,3 +203,39 @@ func TestParallelYeastSubset(t *testing.T) {
 			res.Modes.Len(), serial.Modes.Len(), res.TotalPairs(), serial.TotalPairs())
 	}
 }
+
+func TestHybridNodesWorkersMatchSerial(t *testing.T) {
+	// The hybrid decomposition — nodes × shared-memory workers per node —
+	// must be bit-compatible with the plain serial engine for every
+	// combination: the node slices and worker chunks compose into the
+	// same contiguous pair-space partition.
+	p := toyProblem(t)
+	serial, err := core.Run(p, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalKeys(serial)
+	for _, nodes := range []int{1, 2, 3} {
+		for _, workers := range []int{1, 2, 4} {
+			res, err := Run(p, Options{Nodes: nodes, Core: core.Options{Workers: workers}})
+			if err != nil {
+				t.Fatalf("nodes=%d workers=%d: %v", nodes, workers, err)
+			}
+			if got := canonicalKeys(res.Result); got != want {
+				t.Fatalf("nodes=%d workers=%d: EFM set differs from serial", nodes, workers)
+			}
+			if res.TotalPairs() != serial.TotalPairs() {
+				t.Fatalf("nodes=%d workers=%d: pairs %d != serial %d",
+					nodes, workers, res.TotalPairs(), serial.TotalPairs())
+			}
+			for i, s := range res.Stats {
+				ref := serial.Stats[i]
+				if s.Tested != ref.Tested || s.Accepted != ref.Accepted ||
+					s.Duplicates != ref.Duplicates || s.ModesOut != ref.ModesOut {
+					t.Fatalf("nodes=%d workers=%d row %d: counters diverge: %+v vs %+v",
+						nodes, workers, i, s, ref)
+				}
+			}
+		}
+	}
+}
