@@ -170,9 +170,10 @@ func expTable2(cfg benchConfig) error {
 	for _, n := range cfg.nodes {
 		start := time.Now()
 		res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{
-			Algorithm: elmocomp.Parallel,
-			Nodes:     n,
-			Progress:  progress(cfg),
+			Algorithm:   elmocomp.Parallel,
+			Nodes:       n,
+			CommTimeout: cfg.commTimeout,
+			Progress:    progress(cfg),
 		})
 		if err != nil {
 			return err
@@ -224,17 +225,19 @@ func expTable3(cfg benchConfig) error {
 	if cfg.full {
 		net, err = elmocomp.Builtin("yeast1")
 		cfgRun = elmocomp.Config{
-			Algorithm: elmocomp.DivideAndConquer,
-			Partition: []string{"R89r", "R74r"},
-			Nodes:     4,
+			Algorithm:   elmocomp.DivideAndConquer,
+			Partition:   []string{"R89r", "R74r"},
+			Nodes:       4,
+			CommTimeout: cfg.commTimeout,
 		}
 		title = "Table III — Network I, partition {R89r, R74r}, 4 nodes"
 	} else {
 		net, err = mediumWorkload()
 		cfgRun = elmocomp.Config{
-			Algorithm: elmocomp.DivideAndConquer,
-			Qsub:      2,
-			Nodes:     4,
+			Algorithm:   elmocomp.DivideAndConquer,
+			Qsub:        2,
+			Nodes:       4,
+			CommTimeout: cfg.commTimeout,
 		}
 		title = "Table III — synthetic medium workload, auto partition (use -full for Network I)"
 	}
@@ -295,6 +298,7 @@ func expTable4(cfg benchConfig) error {
 		Algorithm:            elmocomp.DivideAndConquer,
 		Partition:            []string{"R54r", "R90r", "R60r"},
 		MaxIntermediateModes: budget,
+		CommTimeout:          cfg.commTimeout,
 		Progress:             progress(cfg),
 	})
 	if err != nil {

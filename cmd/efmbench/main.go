@@ -22,15 +22,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type benchConfig struct {
-	full     bool
-	nodes    []int
-	workers  []int
-	budget   int
-	verbose  bool
-	jsonPath string
+	full        bool
+	nodes       []int
+	workers     []int
+	budget      int
+	commTimeout time.Duration
+	verbose     bool
+	jsonPath    string
 }
 
 type experiment struct {
@@ -60,6 +62,7 @@ func main() {
 		workers = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
 		jsonOut = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
 		budget  = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
+		commTO  = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
 		verbose = flag.Bool("v", false, "progress to stderr")
 	)
 	flag.Parse()
@@ -70,7 +73,7 @@ func main() {
 		}
 		return
 	}
-	cfg := benchConfig{full: *full, budget: *budget, verbose: *verbose, jsonPath: *jsonOut}
+	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose, jsonPath: *jsonOut}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

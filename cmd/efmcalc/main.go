@@ -31,6 +31,7 @@ func main() {
 		partition = flag.String("partition", "", "comma-separated partition reaction names (dnc)")
 		test      = flag.String("test", "rank", "elementarity test: rank | tree")
 		tcp       = flag.Bool("tcp", false, "route node traffic over loopback TCP")
+		commTO    = flag.Duration("comm-timeout", 0, "abort the run when an inter-node collective stalls longer than this (0 = no deadline)")
 		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions during reduction")
 		maxModes  = flag.Int("max-modes", 0, "abort/re-split when an intermediate matrix exceeds this many columns")
 		out       = flag.String("out", "", "write EFM supports to this file (default: count only)")
@@ -51,6 +52,7 @@ func main() {
 		Workers:                *workers,
 		Qsub:                   *qsub,
 		OverTCP:                *tcp,
+		CommTimeout:            *commTO,
 		KeepDuplicateReactions: *keepDup,
 		MaxIntermediateModes:   *maxModes,
 	}
@@ -93,8 +95,8 @@ func main() {
 	fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
 	fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
 	if res.CommBytes > 0 {
-		fmt.Printf("communication: %s in %s messages\n",
-			stats.Bytes(res.CommBytes), stats.Count(res.CommMessages))
+		fmt.Printf("communication: %s payload (%s on the wire) in %s messages\n",
+			stats.Bytes(res.CommBytes), stats.Bytes(res.CommWireBytes), stats.Count(res.CommMessages))
 	}
 	fmt.Printf("elapsed: %v\n", elapsed)
 

@@ -28,14 +28,29 @@ import (
 	"io"
 	"math/big"
 	"sort"
+	"time"
 
 	"elmocomp/internal/bitset"
+	"elmocomp/internal/cluster"
 	"elmocomp/internal/core"
 	"elmocomp/internal/dnc"
 	"elmocomp/internal/model"
 	"elmocomp/internal/nullspace"
 	"elmocomp/internal/parallel"
 	"elmocomp/internal/reduce"
+)
+
+// Failure sentinels of the distributed drivers, re-exported so callers
+// can classify errors with errors.Is without reaching into internal
+// packages.
+var (
+	// ErrCommTimeout matches errors from runs whose Config.CommTimeout
+	// expired: a node's collective communication step stalled past the
+	// deadline and the run was aborted instead of hanging.
+	ErrCommTimeout = cluster.ErrTimeout
+	// ErrCommAborted matches the fail-fast teardown errors peers report
+	// when any node fails and the communicator group is aborted.
+	ErrCommAborted = cluster.ErrAborted
 )
 
 // Network is a metabolic network: reactions with exact stoichiometry and
@@ -164,6 +179,12 @@ type Config struct {
 	// OverTCP routes inter-node traffic through loopback TCP sockets
 	// instead of in-process channels.
 	OverTCP bool
+	// CommTimeout bounds every inter-node collective of the Parallel
+	// and DivideAndConquer drivers. When a node's communication step
+	// stalls longer — a lost peer, a wedged transport — the run aborts
+	// with an error matching ErrCommTimeout instead of hanging. 0 means
+	// no deadline.
+	CommTimeout time.Duration
 	// Progress, when set, receives a line of status per completed
 	// iteration or subproblem.
 	Progress func(msg string)
@@ -226,8 +247,10 @@ type Result struct {
 	Phases PhaseSeconds
 	// Subproblems describes the divide-and-conquer classes (DnC only).
 	Subproblems []SubproblemStat
-	// CommBytes / CommMessages total the inter-node traffic.
-	CommBytes, CommMessages int64
+	// CommBytes / CommMessages total the inter-node traffic (payload
+	// bytes); CommWireBytes additionally counts transport framing (on
+	// TCP, a 4-byte header per message — equal to CommBytes in-process).
+	CommBytes, CommWireBytes, CommMessages int64
 	// PeakNodeBytes is the largest mode-matrix payload held by any
 	// single node at any time.
 	PeakNodeBytes int64
@@ -483,7 +506,7 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		popts := parallel.Options{Core: copts, Nodes: cfg.Nodes}
+		popts := parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout}
 		if cfg.OverTCP {
 			popts.Transport = parallel.TCP
 		}
@@ -495,13 +518,14 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		res.CandidateModes = run.TotalPairs()
 		res.PeakNodeBytes = run.PeakNodeBytes
 		res.CommBytes = run.Comm.Bytes
+		res.CommWireBytes = run.Comm.WireBytes
 		res.CommMessages = run.Comm.Messages
 		res.Iterations = iterStats(run.Stats, red, p)
 		mp := run.MaxPhases()
 		res.Phases = PhaseSeconds{mp.GenCand, mp.RankTest, mp.Communicate, mp.Merge}
 	case DivideAndConquer:
 		dopts := dnc.Options{
-			Parallel: parallel.Options{Core: copts, Nodes: cfg.Nodes},
+			Parallel: parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout},
 			Qsub:     cfg.Qsub,
 		}
 		if cfg.OverTCP {

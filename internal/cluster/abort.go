@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+)
+
+// The failure vocabulary of the substrate. A wedged collective is the
+// worst failure mode a replicated-state algorithm can have — one node
+// erroring out of Algorithm 2's Communicate&Merge used to leave every
+// peer blocked in Recv forever — so the group carries an abort latch:
+// any node's error, an expired deadline, or an external cancel trips
+// it, and every pending and future operation on every node fails
+// promptly with an error matching ErrAborted.
+var (
+	// ErrAborted marks operations failed by a group-wide abort. Use
+	// errors.Is(err, ErrAborted) to tell fail-fast teardown apart from a
+	// node's own root-cause failure; the abort cause (ErrTimeout,
+	// ErrCanceled, or the failing node's error) is wrapped and reachable
+	// through errors.Is/errors.As too.
+	ErrAborted = errors.New("cluster: group aborted")
+
+	// ErrTimeout is the abort cause when a collective operation exceeded
+	// the group's Options.Timeout deadline.
+	ErrTimeout = errors.New("cluster: collective deadline exceeded")
+
+	// ErrCanceled is the abort cause drivers use for an external cancel.
+	ErrCanceled = errors.New("cluster: run canceled")
+
+	// ErrInjected is returned at fault-injection crash points (FaultPlan).
+	ErrInjected = errors.New("cluster: injected fault")
+)
+
+// AbortError is the error every pending and future operation returns
+// once its group has aborted. It matches ErrAborted and wraps the cause.
+type AbortError struct {
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	if e.Cause == nil {
+		return ErrAborted.Error()
+	}
+	return ErrAborted.Error() + ": " + e.Cause.Error()
+}
+
+// Unwrap exposes the abort cause to errors.Is/errors.As.
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrAborted) hold for every AbortError.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
+
+// abortState is the group-wide abort latch shared by every communicator
+// of one group. The first trip wins; the cause is stored before the
+// channel closes, so any reader that observes done() closed also
+// observes the cause (channel-close ordering).
+type abortState struct {
+	once  sync.Once
+	ch    chan struct{}
+	cause error
+}
+
+func newAbortState() *abortState {
+	return &abortState{ch: make(chan struct{})}
+}
+
+func (a *abortState) trip(cause error) {
+	a.once.Do(func() {
+		a.cause = cause
+		close(a.ch)
+	})
+}
+
+func (a *abortState) done() <-chan struct{} { return a.ch }
+
+// err returns nil while the group is live and the AbortError once
+// tripped.
+func (a *abortState) err() error {
+	select {
+	case <-a.ch:
+		return &AbortError{Cause: a.cause}
+	default:
+		return nil
+	}
+}

@@ -10,15 +10,25 @@
 // are real byte slices so communication volume is measured faithfully.
 // The TCP transport runs the same mesh over loopback sockets (package
 // net) for integration testing with genuine serialization boundaries.
+//
+// Unlike the paper's assumed-reliable MPI fabric, the substrate is
+// fail-fast: every group carries an abort latch (Comm.Abort, tripped by
+// a failing node, an Options.Timeout collective deadline, or an external
+// cancel) that unblocks every pending operation on every node with an
+// error matching ErrAborted. WrapFaulty layers deterministic fault
+// injection (crash points, message drops, delivery delays) over either
+// transport so the failure paths are testable.
 package cluster
 
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Comm is one compute node's endpoint into the group. Implementations
-// are safe for use by that node's goroutine only.
+// are safe for use by that node's goroutine only, except Abort and the
+// counters, which may be called from anywhere.
 type Comm interface {
 	// Rank is this node's id, 0..Size()-1.
 	Rank() int
@@ -32,45 +42,112 @@ type Comm interface {
 	Recv(from int) ([]byte, error)
 	// Allgather distributes each node's payload to every node; the
 	// result is indexed by rank. Built on Send/Recv, so its traffic is
-	// accounted. All nodes must call it collectively.
+	// accounted. All nodes must call it collectively. When the group has
+	// an Options.Timeout and the collective does not complete within it,
+	// the whole group aborts (ErrTimeout).
 	Allgather(local []byte) ([][]byte, error)
 	// Barrier blocks until every node has entered it.
 	Barrier() error
-	// Close releases the endpoint. Pending receives fail.
+	// Abort trips the group-wide abort latch with the given cause:
+	// every pending and future Send, Recv, Allgather and Barrier on
+	// every node of the group fails promptly with an error matching
+	// ErrAborted (and wrapping cause). The first abort wins; later calls
+	// are no-ops. Safe to call from any goroutine.
+	Abort(cause error)
+	// Close releases the endpoint and joins its background goroutines.
+	// Pending receives fail.
 	Close() error
 
-	// Stats return this node's cumulative traffic.
+	// Stats return this node's cumulative traffic. BytesSent counts
+	// payload bytes; WireBytesSent additionally includes transport
+	// framing (identical to BytesSent on the in-process transport).
 	BytesSent() int64
+	WireBytesSent() int64
 	MessagesSent() int64
+}
+
+// Options configure group-wide behaviour shared by both transports.
+type Options struct {
+	// Timeout bounds every collective operation (Allgather, Barrier).
+	// When a collective has not completed within Timeout on some node,
+	// the whole group aborts with an error matching both ErrAborted and
+	// ErrTimeout — a stalled peer fails the run instead of wedging it.
+	// 0 disables the deadline.
+	Timeout time.Duration
+	// Buffered is the in-process transport's per-link channel capacity
+	// (default 16); it bounds memory the way MPI eager buffers do.
+	Buffered int
+	// SendRetries is how many times the TCP transport retries a
+	// transient send failure (a timeout before any frame byte reached
+	// the socket) before returning the error. 0 disables retries.
+	SendRetries int
+	// RetryBackoff is the initial retry backoff, doubled per attempt
+	// (default 1ms when SendRetries > 0).
+	RetryBackoff time.Duration
 }
 
 // counters is embedded by transports for traffic accounting.
 type counters struct {
-	bytes, msgs atomic.Int64
+	bytes, wire, msgs atomic.Int64
 }
 
-func (c *counters) account(n int) {
-	c.bytes.Add(int64(n))
+func (c *counters) account(payload, wire int) {
+	c.bytes.Add(int64(payload))
+	c.wire.Add(int64(wire))
 	c.msgs.Add(1)
 }
 
 // BytesSent returns the cumulative payload bytes sent by this node.
 func (c *counters) BytesSent() int64 { return c.bytes.Load() }
 
+// WireBytesSent returns the cumulative bytes put on the wire by this
+// node, including transport framing.
+func (c *counters) WireBytesSent() int64 { return c.wire.Load() }
+
 // MessagesSent returns the cumulative message count sent by this node.
 func (c *counters) MessagesSent() int64 { return c.msgs.Load() }
+
+// collectiveTimeouter lets the shared collective implementations read a
+// transport's configured deadline (and a wrapper delegate to it).
+type collectiveTimeouter interface {
+	collectiveTimeout() time.Duration
+}
+
+// timeoutOf returns c's collective deadline, 0 when it has none.
+func timeoutOf(c Comm) time.Duration {
+	if t, ok := c.(collectiveTimeouter); ok {
+		return t.collectiveTimeout()
+	}
+	return 0
+}
 
 // allgather implements the collective on top of point-to-point sends:
 // every node sends its payload to every other node and receives theirs,
 // ordered by rank (the flat "personalized all-to-all" the paper's
 // Communicate&Merge step performs).
-func allgather(c Comm, local []byte) ([][]byte, error) {
+//
+// Send's contract passes slice ownership to the receiver, so every peer
+// — and the local out[rank] entry — gets a private copy of local; the
+// caller stays free to reuse its buffer and receivers may mutate theirs.
+//
+// A positive timeout arms the group deadline: if the collective has not
+// completed when it fires, the whole group aborts with ErrTimeout, so a
+// missing or stalled peer costs bounded time instead of a deadlock.
+func allgather(c Comm, timeout time.Duration, local []byte) ([][]byte, error) {
+	if timeout > 0 {
+		rank := c.Rank()
+		timer := time.AfterFunc(timeout, func() {
+			c.Abort(fmt.Errorf("%w: rank %d allgather still pending after %v", ErrTimeout, rank, timeout))
+		})
+		defer timer.Stop()
+	}
 	size, rank := c.Size(), c.Rank()
 	out := make([][]byte, size)
-	out[rank] = local
+	out[rank] = append([]byte(nil), local...)
 	for off := 1; off < size; off++ {
 		to := (rank + off) % size
-		if err := c.Send(to, local); err != nil {
+		cp := append([]byte(nil), local...)
+		if err := c.Send(to, cp); err != nil {
 			return nil, fmt.Errorf("cluster: allgather send to %d: %w", to, err)
 		}
 	}
@@ -91,10 +168,13 @@ func barrier(c Comm) error {
 	return err
 }
 
-// GroupStats aggregates traffic over a group of communicators.
+// GroupStats aggregates traffic over a group of communicators. Bytes is
+// payload volume; WireBytes includes transport framing (the two agree on
+// the in-process transport; TCP adds a 4-byte frame header per message).
 type GroupStats struct {
-	Bytes    int64
-	Messages int64
+	Bytes     int64
+	WireBytes int64
+	Messages  int64
 }
 
 // StatsOf sums the traffic counters of a node group.
@@ -102,6 +182,7 @@ func StatsOf(comms []Comm) GroupStats {
 	var g GroupStats
 	for _, c := range comms {
 		g.Bytes += c.BytesSent()
+		g.WireBytes += c.WireBytesSent()
 		g.Messages += c.MessagesSent()
 	}
 	return g

@@ -220,6 +220,95 @@ func TestByteAccounting(t *testing.T) {
 	}
 }
 
+func TestAllgatherDoesNotAliasLocal(t *testing.T) {
+	// The receiver owns every returned slice — including out[rank] and
+	// the copies delivered to peers. Mutating them must not corrupt the
+	// sender's buffer or a later round.
+	comms := NewInProc(2, 0)
+	defer closeAll(comms)
+	locals := [][]byte{[]byte{10, 11}, []byte{20, 21}}
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out, err := comms[r].Allgather(locals[r])
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			for s := range out { // scribble over everything we received
+				for i := range out[s] {
+					out[s][i] = 0xFF
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if want := []byte{byte(10 * (r + 1)), byte(10*(r+1) + 1)}; !bytes.Equal(locals[r], want) {
+			t.Fatalf("rank %d local buffer corrupted by receiver writes: %v, want %v", r, locals[r], want)
+		}
+	}
+	// A second round still sees the pristine payloads.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out, err := comms[r].Allgather(locals[r])
+			if err != nil {
+				t.Errorf("rank %d round 2: %v", r, err)
+				return
+			}
+			for s := 0; s < 2; s++ {
+				if want := []byte{byte(10 * (s + 1)), byte(10*(s+1) + 1)}; !bytes.Equal(out[s], want) {
+					t.Errorf("rank %d round 2 payload from %d = %v, want %v", r, s, out[s], want)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestWireByteAccounting(t *testing.T) {
+	// In-process delivery has no framing: wire == payload.
+	inproc := NewInProc(2, 0)
+	done := make(chan struct{})
+	go func() { defer close(done); inproc[1].Recv(0) }()
+	inproc[0].Send(1, make([]byte, 100))
+	<-done
+	if got := inproc[0].WireBytesSent(); got != 100 {
+		t.Errorf("inproc WireBytesSent = %d, want 100", got)
+	}
+	closeAll(inproc)
+
+	// TCP pays the 4-byte length header per message.
+	comms, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(comms)
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		comms[1].Recv(0)
+		comms[1].Recv(0)
+	}()
+	comms[0].Send(1, make([]byte, 100))
+	comms[0].Send(1, make([]byte, 23))
+	<-done
+	if got := comms[0].BytesSent(); got != 123 {
+		t.Errorf("tcp BytesSent = %d, want 123 (payload only)", got)
+	}
+	if got := comms[0].WireBytesSent(); got != 123+2*frameHeaderLen {
+		t.Errorf("tcp WireBytesSent = %d, want %d", got, 123+2*frameHeaderLen)
+	}
+	g := StatsOf(comms)
+	if g.Bytes != 123 || g.WireBytes != 123+2*frameHeaderLen || g.Messages != 2 {
+		t.Errorf("group stats = %+v", g)
+	}
+}
+
 func TestCloseUnblocksRecv(t *testing.T) {
 	comms := NewInProc(2, 0)
 	errc := make(chan error, 1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inprocComm is one endpoint of an in-process node group. Each ordered
@@ -21,6 +22,8 @@ type inprocGroup struct {
 	boxes [][]chan []byte // boxes[to][from]
 	done  chan struct{}
 	once  sync.Once
+	abort *abortState
+	opts  Options
 }
 
 // ErrClosed is returned by operations on a closed group.
@@ -32,18 +35,24 @@ var ErrClosed = errors.New("cluster: group closed")
 // the same way MPI eager buffers do — senders block when a receiver
 // falls too far behind.
 func NewInProc(n, bufferedMsgs int) []Comm {
+	return NewInProcOpts(n, Options{Buffered: bufferedMsgs})
+}
+
+// NewInProcOpts is NewInProc with the full option set (collective
+// deadline, buffer capacity).
+func NewInProcOpts(n int, opts Options) []Comm {
 	if n <= 0 {
 		panic("cluster: non-positive group size")
 	}
-	if bufferedMsgs <= 0 {
-		bufferedMsgs = 16
+	if opts.Buffered <= 0 {
+		opts.Buffered = 16
 	}
-	g := &inprocGroup{size: n, done: make(chan struct{})}
+	g := &inprocGroup{size: n, done: make(chan struct{}), abort: newAbortState(), opts: opts}
 	g.boxes = make([][]chan []byte, n)
 	for to := 0; to < n; to++ {
 		g.boxes[to] = make([]chan []byte, n)
 		for from := 0; from < n; from++ {
-			g.boxes[to][from] = make(chan []byte, bufferedMsgs)
+			g.boxes[to][from] = make(chan []byte, opts.Buffered)
 		}
 	}
 	comms := make([]Comm, n)
@@ -56,6 +65,8 @@ func NewInProc(n, bufferedMsgs int) []Comm {
 func (c *inprocComm) Rank() int { return c.rank }
 func (c *inprocComm) Size() int { return c.group.size }
 
+func (c *inprocComm) collectiveTimeout() time.Duration { return c.group.opts.Timeout }
+
 func (c *inprocComm) Send(to int, msg []byte) error {
 	if to < 0 || to >= c.group.size {
 		return fmt.Errorf("cluster: send to invalid rank %d", to)
@@ -63,10 +74,15 @@ func (c *inprocComm) Send(to int, msg []byte) error {
 	if to == c.rank {
 		return errors.New("cluster: self-send not supported")
 	}
+	if err := c.group.abort.err(); err != nil {
+		return err
+	}
 	select {
 	case c.group.boxes[to][c.rank] <- msg:
-		c.account(len(msg))
+		c.account(len(msg), len(msg))
 		return nil
+	case <-c.group.abort.done():
+		return c.group.abort.err()
 	case <-c.group.done:
 		return ErrClosed
 	}
@@ -79,19 +95,26 @@ func (c *inprocComm) Recv(from int) ([]byte, error) {
 	if from == c.rank {
 		return nil, errors.New("cluster: self-recv not supported")
 	}
+	if err := c.group.abort.err(); err != nil {
+		return nil, err
+	}
 	select {
 	case msg := <-c.group.boxes[c.rank][from]:
 		return msg, nil
+	case <-c.group.abort.done():
+		return nil, c.group.abort.err()
 	case <-c.group.done:
 		return nil, ErrClosed
 	}
 }
 
 func (c *inprocComm) Allgather(local []byte) ([][]byte, error) {
-	return allgather(c, local)
+	return allgather(c, c.group.opts.Timeout, local)
 }
 
 func (c *inprocComm) Barrier() error { return barrier(c) }
+
+func (c *inprocComm) Abort(cause error) { c.group.abort.trip(cause) }
 
 func (c *inprocComm) Close() error {
 	c.group.once.Do(func() { close(c.group.done) })

@@ -2,10 +2,23 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+)
+
+// frameHeaderLen is the per-message framing overhead of the TCP
+// transport: a 4-byte little-endian payload length.
+const frameHeaderLen = 4
+
+// Dial/listen indirections, overridable by tests to inject setup and
+// send failures deterministically.
+var (
+	tcpListen = net.Listen
+	tcpDial   = net.Dial
 )
 
 // tcpComm is a communicator whose messages travel over loopback TCP
@@ -14,6 +27,8 @@ import (
 type tcpComm struct {
 	counters
 	rank, size int
+	opts       Options
+	abort      *abortState
 	peers      []net.Conn // peers[r] carries traffic to/from rank r (nil for self)
 	inbox      []chan []byte
 	sendMu     []sync.Mutex
@@ -27,22 +42,59 @@ type tcpComm struct {
 // rank. The group lives in this process (one goroutine mesh), but every
 // byte crosses a real socket.
 func NewTCPGroup(n int) ([]Comm, error) {
+	return NewTCPGroupOpts(n, Options{})
+}
+
+// NewTCPGroupOpts is NewTCPGroup with the full option set (collective
+// deadline, transient-send retries). Setup is all-or-nothing: on any
+// error every listener and every connection established so far is
+// closed before the error is returned, and a failed dial unblocks the
+// pending accepts, so a broken mesh costs bounded time and leaks
+// nothing.
+func NewTCPGroupOpts(n int, opts Options) ([]Comm, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive group size")
 	}
+	ab := newAbortState()
 	listeners := make([]net.Listener, n)
+	comms := make([]*tcpComm, n)
+	closeListeners := sync.OnceFunc(func() {
+		for _, l := range listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+	})
+	// cleanup releases everything the partial setup acquired; the error
+	// paths below own all conns (goroutines have finished), so no
+	// concurrent writer races with it.
+	cleanup := func() {
+		closeListeners()
+		for _, c := range comms {
+			if c == nil {
+				continue
+			}
+			for _, conn := range c.peers {
+				if conn != nil {
+					conn.Close()
+				}
+			}
+		}
+	}
 	for r := range listeners {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
+		l, err := tcpListen("tcp", "127.0.0.1:0")
 		if err != nil {
+			cleanup()
 			return nil, fmt.Errorf("cluster: listen: %w", err)
 		}
 		listeners[r] = l
 	}
-	comms := make([]*tcpComm, n)
 	for r := 0; r < n; r++ {
 		comms[r] = &tcpComm{
 			rank:   r,
 			size:   n,
+			opts:   opts,
+			abort:  ab,
 			peers:  make([]net.Conn, n),
 			inbox:  make([]chan []byte, n),
 			sendMu: make([]sync.Mutex, n),
@@ -53,23 +105,29 @@ func NewTCPGroup(n int) ([]Comm, error) {
 		}
 	}
 	// Mesh construction: rank a dials rank b for a < b, announcing its
-	// rank in the first frame.
+	// rank in the first frame. The first failure closes the listeners so
+	// every pending Accept unblocks — setup must fail fast, not wedge.
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*n*n)
+	fail := func(err error) {
+		errs <- err
+		closeListeners()
+	}
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			wg.Add(1)
 			go func(a, b int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", listeners[b].Addr().String())
+				conn, err := tcpDial("tcp", listeners[b].Addr().String())
 				if err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				var hello [4]byte
 				binary.LittleEndian.PutUint32(hello[:], uint32(a))
 				if _, err := conn.Write(hello[:]); err != nil {
-					errs <- err
+					conn.Close()
+					fail(err)
 					return
 				}
 				comms[a].peers[b] = conn
@@ -81,15 +139,21 @@ func NewTCPGroup(n int) ([]Comm, error) {
 			for i := 0; i < b; i++ { // b accepts one conn from every lower rank
 				conn, err := listeners[b].Accept()
 				if err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					errs <- err
+					conn.Close()
+					fail(err)
 					return
 				}
 				from := int(binary.LittleEndian.Uint32(hello[:]))
+				if from < 0 || from >= b || comms[b].peers[from] != nil {
+					conn.Close()
+					fail(fmt.Errorf("cluster: mesh setup: bogus hello rank %d at rank %d", from, b))
+					return
+				}
 				comms[b].peers[from] = conn
 			}
 		}(a)
@@ -98,12 +162,11 @@ func NewTCPGroup(n int) ([]Comm, error) {
 	close(errs)
 	for err := range errs {
 		if err != nil {
+			cleanup()
 			return nil, fmt.Errorf("cluster: mesh setup: %w", err)
 		}
 	}
-	for _, l := range listeners {
-		l.Close()
-	}
+	closeListeners()
 	// Start reader pumps: one per connection, demuxing into the inbox.
 	for r := 0; r < n; r++ {
 		c := comms[r]
@@ -141,6 +204,8 @@ func (c *tcpComm) pump(from int) {
 		case c.inbox[from] <- msg:
 		case <-c.closed:
 			return
+		case <-c.abort.done():
+			return
 		}
 	}
 }
@@ -148,21 +213,53 @@ func (c *tcpComm) pump(from int) {
 func (c *tcpComm) Rank() int { return c.rank }
 func (c *tcpComm) Size() int { return c.size }
 
+func (c *tcpComm) collectiveTimeout() time.Duration { return c.opts.Timeout }
+
+// isTransient reports whether a send failure is worth retrying: timeout
+// flavors of net.Error (a saturated loopback buffer, a transiently slow
+// peer), not connection teardown.
+func isTransient(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 func (c *tcpComm) Send(to int, msg []byte) error {
 	if to < 0 || to >= c.size || to == c.rank {
 		return fmt.Errorf("cluster: send to invalid rank %d", to)
 	}
+	if err := c.abort.err(); err != nil {
+		return err
+	}
 	c.sendMu[to].Lock()
 	defer c.sendMu[to].Unlock()
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
-	if _, err := c.peers[to].Write(hdr[:]); err != nil {
-		return err
+	backoff := c.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
 	}
-	if _, err := c.peers[to].Write(msg); err != nil {
-		return err
+	var wrote int64
+	for attempt := 0; ; attempt++ {
+		bufs := net.Buffers{hdr[:], msg}
+		n, err := bufs.WriteTo(c.peers[to])
+		wrote += n
+		if err == nil {
+			break
+		}
+		// Retry only while the frame is untouched: once any byte is on
+		// the wire, resending would corrupt the stream's framing.
+		if wrote == 0 && attempt < c.opts.SendRetries && isTransient(err) {
+			select {
+			case <-time.After(backoff):
+			case <-c.abort.done():
+				return c.abort.err()
+			}
+			backoff *= 2
+			continue
+		}
+		return fmt.Errorf("cluster: send to %d: %w", to, err)
 	}
-	c.account(len(msg))
+	c.account(len(msg), len(msg)+frameHeaderLen)
 	return nil
 }
 
@@ -170,23 +267,34 @@ func (c *tcpComm) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= c.size || from == c.rank {
 		return nil, fmt.Errorf("cluster: recv from invalid rank %d", from)
 	}
+	if err := c.abort.err(); err != nil {
+		return nil, err
+	}
 	select {
 	case msg, ok := <-c.inbox[from]:
 		if !ok {
 			return nil, ErrClosed
 		}
 		return msg, nil
+	case <-c.abort.done():
+		return nil, c.abort.err()
 	case <-c.closed:
 		return nil, ErrClosed
 	}
 }
 
 func (c *tcpComm) Allgather(local []byte) ([][]byte, error) {
-	return allgather(c, local)
+	return allgather(c, c.opts.Timeout, local)
 }
 
 func (c *tcpComm) Barrier() error { return barrier(c) }
 
+func (c *tcpComm) Abort(cause error) { c.abort.trip(cause) }
+
+// Close tears down the endpoint and joins its pump goroutines: closing
+// the connections unblocks any pump stuck in a read, and the closed
+// channel unblocks any pump stuck delivering into a full inbox, so the
+// wait is bounded and no goroutine outlives the endpoint.
 func (c *tcpComm) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
@@ -195,6 +303,7 @@ func (c *tcpComm) Close() error {
 				conn.Close()
 			}
 		}
+		c.wg.Wait()
 	})
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,6 +12,12 @@ import (
 	"elmocomp/internal/linalg"
 	"elmocomp/internal/nullspace"
 )
+
+// ErrBudget marks a run aborted because an intermediate mode set
+// exceeded Options.MaxModes. The divide-and-conquer driver re-splits a
+// subproblem on exactly this error (and propagates every other failure,
+// e.g. a communication fault, unchanged).
+var ErrBudget = errors.New("core: intermediate mode budget exceeded")
 
 // TestKind selects the elementarity test applied to candidate modes.
 type TestKind int
@@ -574,8 +581,8 @@ func (it *RowIter) assemble(candSets []*ModeSet, refs []candRef, t0 time.Time) (
 	it.Stats.MergeSeconds += time.Since(t0).Seconds()
 	it.Stats.PeakBytes = next.MemoryBytes() + it.Set.MemoryBytes()
 	if it.opts.MaxModes > 0 && next.Len() > it.opts.MaxModes {
-		return nil, fmt.Errorf("core: row %d produced %d modes, exceeding the %d-mode budget",
-			it.Row, next.Len(), it.opts.MaxModes)
+		return nil, fmt.Errorf("%w: row %d produced %d modes, exceeding the %d-mode budget",
+			ErrBudget, it.Row, next.Len(), it.opts.MaxModes)
 	}
 	return next, nil
 }

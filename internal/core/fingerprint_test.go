@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+)
+
+func fingerprintFixture() *ModeSet {
+	s := NewModeSet(4, 2, []int{0})
+	s.AppendMode(nil, []float64{1, 0}, []float64{2}, 1e-9)
+	s.AppendMode(nil, []float64{0, 3}, []float64{-1}, 1e-9)
+	return s
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a, b := fingerprintFixture(), fingerprintFixture()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical sets fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	// A changed numeric value — same support pattern — must change it.
+	v := fingerprintFixture()
+	v.AppendMode(nil, []float64{7, 0}, []float64{2}, 1e-9)
+	w := fingerprintFixture()
+	w.AppendMode(nil, []float64{8, 0}, []float64{2}, 1e-9)
+	if v.Fingerprint() == w.Fingerprint() {
+		t.Fatal("value-diverged sets share a fingerprint")
+	}
+
+	// A changed support pattern must change it.
+	x := fingerprintFixture()
+	x.AppendMode(nil, []float64{1, 1}, []float64{0}, 1e-9)
+	y := fingerprintFixture()
+	y.AppendMode(nil, []float64{1, 0}, []float64{0}, 1e-9)
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Fatal("support-diverged sets share a fingerprint")
+	}
+
+	// Length divergence too.
+	if a.Fingerprint() == x.Fingerprint() {
+		t.Fatal("different-length sets share a fingerprint")
+	}
+}
+
+func TestBudgetErrorIsTyped(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Options{MaxModes: 1})
+	if err == nil {
+		t.Fatal("MaxModes=1 did not trip the budget")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget overflow error %v does not match ErrBudget", err)
+	}
+}

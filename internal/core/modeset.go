@@ -301,6 +301,42 @@ func (s *ModeSet) MemoryBytes() int64 {
 	return int64(len(s.bits))*8 + int64(len(s.vals))*8
 }
 
+// Fingerprint returns an order- and content-sensitive 64-bit hash of
+// the set: layout, every mode's support words, and every numeric value
+// (by IEEE-754 bit pattern), folded with FNV-1a. Replicas of a
+// deterministic run hash identically; any divergence in membership,
+// order, support or value flips the fingerprint with overwhelming
+// probability. The parallel driver compares replica fingerprints, not
+// just lengths, to enforce Algorithm 2's replication invariant.
+func (s *ModeSet) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(s.q))
+	mix(uint64(s.firstRow))
+	mix(uint64(s.n))
+	mix(uint64(len(s.revRows)))
+	for _, r := range s.revRows {
+		mix(uint64(r))
+	}
+	for _, w := range s.bits[:s.n*s.words] {
+		mix(w)
+	}
+	for _, v := range s.vals[:s.n*s.stride()] {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
 func setBit(words []uint64, r int, on bool) {
 	if on {
 		words[r/64] |= 1 << uint(r%64)

@@ -20,6 +20,7 @@
 package dnc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -277,7 +278,10 @@ func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, 
 	copts.Core.LastRow = p.Q() - len(nzfLocal)
 	run, err := parallel.Run(p, copts)
 	if err != nil {
-		if opts.Parallel.Core.MaxModes > 0 {
+		// Only a blown mode budget triggers adaptive re-splitting; any
+		// other failure (a node crash, a communication timeout, an
+		// aborted group) is a fault, not a size signal, and propagates.
+		if errors.Is(err, core.ErrBudget) {
 			if depth < opts.MaxDepth {
 				return resplit(N, rev, partition, id, depth, opts, sub)
 			}

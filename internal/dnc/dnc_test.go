@@ -1,11 +1,14 @@
 package dnc
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"elmocomp/internal/bitset"
+	"elmocomp/internal/cluster"
 	"elmocomp/internal/core"
 	"elmocomp/internal/model"
 	"elmocomp/internal/nullspace"
@@ -326,6 +329,74 @@ func TestInvalidOptions(t *testing.T) {
 		Parallel: parallel.Options{Core: core.Options{LastRow: 3}},
 	}); err == nil {
 		t.Fatal("caller-managed LastRow accepted")
+	}
+}
+
+// runDncBounded fails the test if the divide-and-conquer driver does
+// not return within d.
+func runDncBounded(t *testing.T, red *reduce.Reduced, opts Options, d time.Duration) (*Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(red.N, red.Reversibilities(), opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(d):
+		t.Fatalf("dnc.Run wedged: no return within %v", d)
+		return nil, nil
+	}
+}
+
+func TestInjectedFaultPropagates(t *testing.T) {
+	// A node crash inside a subproblem enumeration must surface as an
+	// error from the driver — in bounded time, not a wedge.
+	red := toyReduced(t)
+	_, err := runDncBounded(t, red, Options{
+		Qsub: 1,
+		Parallel: parallel.Options{
+			Nodes:   2,
+			Timeout: 5 * time.Second,
+			Fault:   &cluster.FaultPlan{FailRank: 1, FailCollective: 1},
+		},
+	}, 30*time.Second)
+	if err == nil {
+		t.Fatal("dnc.Run succeeded despite an injected node crash")
+	}
+	if !errors.Is(err, cluster.ErrInjected) {
+		t.Fatalf("root cause lost through the driver: %v", err)
+	}
+}
+
+func TestInjectedFaultDoesNotTriggerResplit(t *testing.T) {
+	// With a mode budget configured, only genuine budget overflows
+	// (core.ErrBudget) may trigger adaptive re-splitting; a communication
+	// fault must propagate instead of being retried at greater depth.
+	red := toyReduced(t)
+	res, err := runDncBounded(t, red, Options{
+		Qsub:     1,
+		MaxDepth: 6,
+		Parallel: parallel.Options{
+			Nodes:   2,
+			Timeout: 5 * time.Second,
+			Core:    core.Options{MaxModes: 100000}, // generous: never genuinely exceeded
+			Fault:   &cluster.FaultPlan{FailRank: 0, FailCollective: 1},
+		},
+	}, 30*time.Second)
+	if err == nil {
+		t.Fatalf("injected fault swallowed by the re-split path (result: %v)", res)
+	}
+	if !errors.Is(err, cluster.ErrInjected) {
+		t.Fatalf("got %v, want the injected failure", err)
+	}
+	if errors.Is(err, core.ErrBudget) {
+		t.Fatalf("fault misclassified as a budget overflow: %v", err)
 	}
 }
 

@@ -14,8 +14,10 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"elmocomp/internal/cluster"
 	"elmocomp/internal/core"
@@ -39,6 +41,19 @@ type Options struct {
 	Core      core.Options
 	Nodes     int // number of compute nodes (default 1)
 	Transport Transport
+	// Timeout bounds every collective communication step (the
+	// Communicate&Merge allgather). When any node's collective stalls
+	// longer — a lost peer, a wedged transport — the whole group aborts
+	// and Run returns an error matching cluster.ErrTimeout instead of
+	// hanging. 0 means no deadline.
+	Timeout time.Duration
+	// Cancel, when non-nil, aborts the run as soon as it is closed; Run
+	// then returns an error matching cluster.ErrCanceled.
+	Cancel <-chan struct{}
+	// Fault, when non-nil, wraps the transport in the fault-injection
+	// layer (cluster.WrapFaulty): deterministic crash points, message
+	// drops and delivery delays for failure-path tests and chaos runs.
+	Fault *cluster.FaultPlan
 }
 
 // PhaseTimes aggregates the per-phase wall-clock seconds across
@@ -96,24 +111,40 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 	if nodes <= 0 {
 		nodes = 1
 	}
+	copts := cluster.Options{Timeout: opts.Timeout}
 	var comms []cluster.Comm
 	switch opts.Transport {
 	case InProc:
-		comms = cluster.NewInProc(nodes, 0)
+		comms = cluster.NewInProcOpts(nodes, copts)
 	case TCP:
+		copts.SendRetries = 3
 		var err error
-		comms, err = cluster.NewTCPGroup(nodes)
+		comms, err = cluster.NewTCPGroupOpts(nodes, copts)
 		if err != nil {
 			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("parallel: unknown transport %d", opts.Transport)
 	}
+	if opts.Fault != nil {
+		comms = cluster.WrapFaulty(comms, *opts.Fault)
+	}
 	defer func() {
 		for _, c := range comms {
 			c.Close()
 		}
 	}()
+	if opts.Cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				comms[0].Abort(cluster.ErrCanceled)
+			case <-stop:
+			}
+		}()
+	}
 
 	last := opts.Core.LastRow
 	if last <= 0 || last > p.Q() {
@@ -127,23 +158,38 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			results[rank], errs[rank] = runNode(p, opts.Core, comms[rank], last)
+			res, err := runNode(p, opts.Core, comms[rank], last)
+			if err != nil {
+				// Fail fast: trip the group abort so every peer pending
+				// in a collective unblocks instead of wedging the run.
+				comms[rank].Abort(fmt.Errorf("node %d: %w", rank, err))
+			}
+			results[rank], errs[rank] = res, err
 		}(r)
 	}
 	wg.Wait()
+	// Prefer a root-cause error (the node that actually failed) over the
+	// ErrAborted cascade its abort triggered on the other nodes.
+	var abortErr error
 	for r, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, cluster.ErrAborted) {
 			return nil, fmt.Errorf("parallel: node %d: %w", r, err)
 		}
+		if abortErr == nil {
+			abortErr = fmt.Errorf("parallel: node %d: %w", r, err)
+		}
+	}
+	if abortErr != nil {
+		return nil, abortErr
 	}
 
 	// Replication invariant: all nodes must have produced identical
 	// mode sets; adopt node 0's.
-	for r := 1; r < nodes; r++ {
-		if results[r].set.Len() != results[0].set.Len() {
-			return nil, fmt.Errorf("parallel: replica divergence: node %d holds %d modes, node 0 holds %d",
-				r, results[r].set.Len(), results[0].set.Len())
-		}
+	if err := checkReplicas(results); err != nil {
+		return nil, err
 	}
 
 	// Aggregate the per-iteration statistics: candidate counts and
@@ -185,6 +231,25 @@ type nodeResult struct {
 	stats     []core.IterStats
 	phases    PhaseTimes
 	peakBytes int64
+}
+
+// checkReplicas enforces the replication invariant of Algorithm 2:
+// every node must hold a bit-identical mode set. A length comparison
+// alone lets same-size-but-diverged replicas through, so the canonical
+// content fingerprint is compared too.
+func checkReplicas(results []*nodeResult) error {
+	h0 := results[0].set.Fingerprint()
+	for r := 1; r < len(results); r++ {
+		if results[r].set.Len() != results[0].set.Len() {
+			return fmt.Errorf("parallel: replica divergence: node %d holds %d modes, node 0 holds %d",
+				r, results[r].set.Len(), results[0].set.Len())
+		}
+		if h := results[r].set.Fingerprint(); h != h0 {
+			return fmt.Errorf("parallel: replica divergence: node %d mode-set fingerprint %016x, node 0's %016x",
+				r, h, h0)
+		}
+	}
+	return nil
 }
 
 // runNode is the per-node main loop of Algorithm 2. Within the node,
