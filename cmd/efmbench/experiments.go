@@ -493,3 +493,139 @@ func expWorkers(cfg benchConfig) error {
 	}
 	return nil
 }
+
+// hybridRowEntry is one iteration of one variant in BENCH_hybrid.json.
+type hybridRowEntry struct {
+	Row         int     `json:"row"`
+	Pairs       int64   `json:"pairs"`
+	Prefiltered int64   `json:"prefiltered"`
+	TreeRejects int64   `json:"tree_rejects"`
+	Tested      int64   `json:"tested"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// hybridVariant is one full enumeration (rank-only or hybrid).
+type hybridVariant struct {
+	Name        string           `json:"name"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Pairs       int64            `json:"pairs"`
+	Prefiltered int64            `json:"prefiltered"`
+	TreeRejects int64            `json:"tree_rejects"`
+	Tested      int64            `json:"tested"`
+	Accepted    int64            `json:"accepted"`
+	Modes       int              `json:"modes"`
+	Fingerprint string           `json:"fingerprint"`
+	Rows        []hybridRowEntry `json:"rows"`
+}
+
+type hybridBenchReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Network    string          `json:"network"`
+	Problem    string          `json:"problem"`
+	LastRow    int             `json:"last_row"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Speedup    float64         `json:"speedup_hybrid_vs_rank"`
+	Variants   []hybridVariant `json:"variants"`
+}
+
+// expHybrid measures the hybrid elementarity fast path against the pure
+// rank test on a pointed problem: Network I with every reversible
+// reaction split (the Heuristics.SplitAllReversible configuration),
+// iterated to a fixed row cap so the run stays bounded while the
+// intermediate sets — and with them the pair space — are large enough
+// for the tree prefilter to matter. Reports per-row candidate
+// accounting and verifies both variants produce bit-identical mode
+// sets.
+func expHybrid(cfg benchConfig) error {
+	net := model.Builtin("yeast1")
+	red, err := reduce.Network(net, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		return err
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		return err
+	}
+	rows := 22
+	if cfg.full {
+		rows = 27
+	}
+	lastRow := p.D + rows
+	report := hybridBenchReport{
+		Benchmark:  "hybrid-prefilter",
+		Network:    net.Name,
+		Problem:    fmt.Sprintf("%dx%d pointed (all reversibles split), first %d rows", p.M(), p.Q(), rows),
+		LastRow:    lastRow,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	run := func(name string, disable bool) (*hybridVariant, *core.Result, error) {
+		start := time.Now()
+		res, err := core.Run(p, core.Options{LastRow: lastRow, DisableHybrid: disable})
+		if err != nil {
+			return nil, nil, err
+		}
+		v := &hybridVariant{
+			Name:        name,
+			WallSeconds: time.Since(start).Seconds(),
+			Modes:       res.Modes.Len(),
+			Fingerprint: fmt.Sprintf("%016x", res.Modes.Fingerprint()),
+		}
+		for _, s := range res.Stats {
+			v.Pairs += s.Pairs
+			v.Prefiltered += s.Prefiltered
+			v.TreeRejects += s.TreeRejects
+			v.Tested += s.Tested
+			v.Accepted += s.Accepted
+			v.Rows = append(v.Rows, hybridRowEntry{
+				Row:         s.Row,
+				Pairs:       s.Pairs,
+				Prefiltered: s.Prefiltered,
+				TreeRejects: s.TreeRejects,
+				Tested:      s.Tested,
+				WallSeconds: s.GenSeconds + s.TestSeconds + s.MergeSeconds,
+			})
+		}
+		return v, res, nil
+	}
+	rank, _, err := run("rank-only", true)
+	if err != nil {
+		return err
+	}
+	hybrid, _, err := run("hybrid", false)
+	if err != nil {
+		return err
+	}
+	report.Variants = []hybridVariant{*rank, *hybrid}
+	report.Speedup = rank.WallSeconds / hybrid.WallSeconds
+
+	tb := stats.NewTable("hybrid tree-prefilter vs rank-only ("+report.Problem+")",
+		"variant", "wall (s)", "pairs", "prefiltered", "tree rejects", "rank tests", "modes")
+	for _, v := range report.Variants {
+		tb.AddRow(v.Name, stats.Seconds(v.WallSeconds), stats.Count(v.Pairs),
+			stats.Count(v.Prefiltered), stats.Count(v.TreeRejects),
+			stats.Count(v.Tested), stats.Count(int64(v.Modes)))
+	}
+	tb.AddNote("speedup: %.2fx; combined rejects %s (hybrid) vs %s (rank-only prefilter alone)",
+		report.Speedup,
+		stats.Count(hybrid.Prefiltered+hybrid.TreeRejects), stats.Count(rank.Prefiltered))
+	if rank.Fingerprint == hybrid.Fingerprint {
+		tb.AddNote("mode-set fingerprints match: %s (bit-identical results)", rank.Fingerprint)
+	} else {
+		return fmt.Errorf("hybrid: fingerprint mismatch — rank-only %s vs hybrid %s",
+			rank.Fingerprint, hybrid.Fingerprint)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.hybridJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.hybridJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.hybridJSONPath)
+	}
+	return nil
+}

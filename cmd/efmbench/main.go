@@ -23,16 +23,19 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"elmocomp/internal/prof"
 )
 
 type benchConfig struct {
-	full        bool
-	nodes       []int
-	workers     []int
-	budget      int
-	commTimeout time.Duration
-	verbose     bool
-	jsonPath    string
+	full           bool
+	nodes          []int
+	workers        []int
+	budget         int
+	commTimeout    time.Duration
+	verbose        bool
+	jsonPath       string
+	hybridJSONPath string
 }
 
 type experiment struct {
@@ -51,6 +54,7 @@ var experiments = []experiment{
 	{"candreduction", "section IV-A: cumulative candidate modes vs partition size", expCandReduction},
 	{"memory", "section IV-B: per-node memory, Algorithm 2 vs Algorithm 3", expMemory},
 	{"workers", "shared-memory worker scaling of candidate generation (writes BENCH_efm.json)", expWorkers},
+	{"hybrid", "hybrid tree-prefilter vs rank-only elementarity on a pointed problem (writes BENCH_hybrid.json)", expHybrid},
 }
 
 func main() {
@@ -60,10 +64,13 @@ func main() {
 		full    = flag.Bool("full", false, "run the complete yeast workloads (CPU-minutes to hours)")
 		nodes   = flag.String("nodes", "1,2,4,8,16", "node counts for scaling tables")
 		workers = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
-		jsonOut = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
-		budget  = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
-		commTO  = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
-		verbose = flag.Bool("v", false, "progress to stderr")
+		jsonOut    = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
+		hybridJSON = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
+		budget     = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
+		commTO     = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		verbose    = flag.Bool("v", false, "progress to stderr")
 	)
 	flag.Parse()
 
@@ -73,7 +80,12 @@ func main() {
 		}
 		return
 	}
-	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose, jsonPath: *jsonOut}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
+		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
@@ -103,6 +115,9 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

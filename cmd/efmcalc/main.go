@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"elmocomp"
+	"elmocomp/internal/prof"
 	"elmocomp/internal/stats"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		qsub      = flag.Int("qsub", 2, "divide-and-conquer partition size")
 		partition = flag.String("partition", "", "comma-separated partition reaction names (dnc)")
 		test      = flag.String("test", "rank", "elementarity test: rank | tree")
+		split     = flag.Bool("split", false, "split every reversible reaction so the cone is pointed (implied by -test tree)")
+		noHybrid  = flag.Bool("no-hybrid", false, "disable the bit-pattern-tree prefilter ahead of the rank test on pointed problems")
 		tcp       = flag.Bool("tcp", false, "route node traffic over loopback TCP")
 		commTO    = flag.Duration("comm-timeout", 0, "abort the run when an inter-node collective stalls longer than this (0 = no deadline)")
 		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions during reduction")
@@ -39,8 +42,14 @@ func main() {
 		verify    = flag.Bool("verify", false, "re-verify every mode in exact arithmetic")
 		verbose   = flag.Bool("v", false, "progress output")
 		statsFlag = flag.Bool("stats", false, "print per-iteration/per-subproblem statistics")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 
 	net, err := loadNetwork(*modelName, *file)
 	if err != nil {
@@ -55,6 +64,8 @@ func main() {
 		CommTimeout:            *commTO,
 		KeepDuplicateReactions: *keepDup,
 		MaxIntermediateModes:   *maxModes,
+		SplitReversible:        *split,
+		DisableHybridPrefilter: *noHybrid,
 	}
 	switch *algorithm {
 	case "serial":
@@ -115,6 +126,9 @@ func main() {
 		}
 		fmt.Printf("wrote %d modes to %s\n", res.Len(), *out)
 	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
 func loadNetwork(modelName, file string) (*elmocomp.Network, error) {
@@ -138,10 +152,12 @@ func loadNetwork(modelName, file string) (*elmocomp.Network, error) {
 func printStats(res *elmocomp.Result) {
 	if len(res.Iterations) > 0 {
 		tb := stats.NewTable("per-iteration statistics",
-			"reaction", "rev", "pos", "neg", "zero", "candidates", "accepted", "dup", "modes out")
+			"reaction", "rev", "pos", "neg", "zero", "candidates", "prefiltered", "tree rejects", "tested", "accepted", "dup", "modes out")
 		for _, it := range res.Iterations {
 			tb.AddRow(it.Reaction, it.Reversible, it.Pos, it.Neg, it.Zero,
-				stats.Count(it.CandidateModes), stats.Count(it.Accepted),
+				stats.Count(it.CandidateModes), stats.Count(it.Prefiltered),
+				stats.Count(it.TreeRejects), stats.Count(it.Tested),
+				stats.Count(it.Accepted),
 				stats.Count(it.Duplicates), it.ModesOut)
 		}
 		tb.Render(os.Stdout)

@@ -163,6 +163,20 @@ type Config struct {
 	Partition []string
 	// Test selects the elementarity test.
 	Test ElementarityTest
+	// SplitReversible prepares the problem with every reversible
+	// reaction split into an irreversible pair (the binary/pointed
+	// formulation) even under RankTest. On the resulting pointed cone
+	// the engine enables the hybrid fast path: a bit-pattern-tree
+	// superset prefilter rejects candidates ahead of the rank test
+	// without changing any result. Implied by CombinatorialTest.
+	// Serial and Parallel only; the divide-and-conquer driver manages
+	// its own row ordering and ignores this flag.
+	SplitReversible bool
+	// DisableHybridPrefilter switches off the automatic bit-pattern-tree
+	// prefilter the engine runs ahead of the rank test on pointed
+	// problems. Results are identical either way; the switch exists for
+	// A/B benchmarking and ablation.
+	DisableHybridPrefilter bool
 	// KeepDuplicateReactions disables the duplicate-column merge during
 	// reduction (see package reduce for the semantics).
 	KeepDuplicateReactions bool
@@ -196,6 +210,9 @@ type IterationStat struct {
 	Reversible     bool
 	Pos, Neg, Zero int
 	CandidateModes int64 // |pos|·|neg| combinations generated
+	Prefiltered    int64 // rejected by the support-size pre-test
+	TreeRejects    int64 // rejected by the hybrid bit-pattern-tree prefilter
+	Tested         int64 // rank / superset tests run
 	Accepted       int64
 	Duplicates     int64
 	ModesOut       int
@@ -468,12 +485,13 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 	h := nullspace.Heuristics{
 		DisableNonzeroOrder:   cfg.DisableRowOrdering,
 		DisableReversibleLast: cfg.DisableReversibleLast,
-		SplitAllReversible:    cfg.Test == CombinatorialTest,
+		SplitAllReversible:    cfg.Test == CombinatorialTest || cfg.SplitReversible,
 	}
 	copts := core.Options{
-		Tol:      cfg.Tolerance,
-		MaxModes: cfg.MaxIntermediateModes,
-		Workers:  cfg.Workers,
+		Tol:           cfg.Tolerance,
+		MaxModes:      cfg.MaxIntermediateModes,
+		Workers:       cfg.Workers,
+		DisableHybrid: cfg.DisableHybridPrefilter,
 	}
 	if cfg.Test == CombinatorialTest {
 		copts.Test = core.CombinatorialTest
@@ -576,6 +594,9 @@ func iterStats(stats []core.IterStats, red *reduce.Reduced, p *nullspace.Problem
 			Neg:            s.Neg,
 			Zero:           s.Zero,
 			CandidateModes: s.Pairs,
+			Prefiltered:    s.Prefiltered,
+			TreeRejects:    s.TreeRejects,
+			Tested:         s.Tested,
 			Accepted:       s.Accepted,
 			Duplicates:     s.Duplicates,
 			ModesOut:       s.ModesOut,

@@ -45,6 +45,18 @@ func (b *Builder) Add(words []uint64) {
 	b.pats = append(b.pats, p)
 }
 
+// AddBorrowed appends a pattern without copying: the tree aliases the
+// caller's slice, which must stay unchanged for the tree's lifetime.
+// Used by the per-row tree construction, whose patterns alias an
+// immutable mode set — copying every support per row would dominate the
+// build cost that the hybrid prefilter is meant to amortize away.
+func (b *Builder) AddBorrowed(words []uint64) {
+	if len(words) != b.words {
+		panic(fmt.Sprintf("bptree: pattern has %d words, want %d", len(words), b.words))
+	}
+	b.pats = append(b.pats, words)
+}
+
 // Len returns the number of patterns added so far.
 func (b *Builder) Len() int { return len(b.pats) }
 
@@ -103,16 +115,19 @@ func (t *Tree) build(idx []int32, depth int) *node {
 		return n
 	}
 	// Split on the most balanced bit (ones count closest to half),
-	// ignoring bits where all or none agree.
-	counts := make([]int, t.width)
+	// ignoring bits where all or none agree. Counting iterates the set
+	// bits of each pattern (supports are sparse relative to the width)
+	// instead of probing every bit position of every pattern.
+	counts := make([]int, t.words*64)
 	for _, i := range idx {
-		p := t.pats[i]
-		for bi := 0; bi < t.width; bi++ {
-			if p[bi/64]&(1<<uint(bi%64)) != 0 {
-				counts[bi]++
+		for w, word := range t.pats[i] {
+			for word != 0 {
+				counts[w*64+bits.TrailingZeros64(word)]++
+				word &= word - 1
 			}
 		}
 	}
+	counts = counts[:t.width]
 	best, bestScore := -1, len(idx)+1
 	for bi := 0; bi < t.width; bi++ {
 		c := counts[bi]

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"time"
 
 	"elmocomp/internal/bptree"
@@ -46,6 +45,13 @@ type Options struct {
 	// MaxModes aborts the run with an error if an intermediate set
 	// exceeds this many columns (a memory guard). 0 means unlimited.
 	MaxModes int
+	// DisableHybrid switches off the hybrid fast path: under RankTest on
+	// a pointed problem (no reversible rows) the engine normally builds
+	// the per-row bit-pattern tree and uses the combinatorial superset
+	// query as a reject-only prefilter ahead of the exact rank test. The
+	// prefilter never changes the result (the rank test stays the final
+	// arbiter); this switch exists for A/B benchmarking and ablation.
+	DisableHybrid bool
 	// Workers is the number of shared-memory worker goroutines used for
 	// candidate generation and merging within one engine (or, in the
 	// distributed drivers, within one compute node). 0 means GOMAXPROCS;
@@ -80,6 +86,7 @@ type IterStats struct {
 	Pos, Neg, Zero int   // column partition sizes
 	Pairs          int64 // candidate modes generated (|pos|·|neg|)
 	Prefiltered    int64 // rejected by the support-size pre-test
+	TreeRejects    int64 // rejected by the hybrid bit-pattern-tree prefilter
 	Tested         int64 // rank / superset tests run
 	Accepted       int64 // candidates surviving the test
 	Duplicates     int64 // removed duplicate candidates
@@ -203,7 +210,21 @@ type RowIter struct {
 
 	opts    Options
 	nextRev []int        // revRows of the next iteration's sets
-	tree    *bptree.Tree // adjacency tree (CombinatorialTest only)
+	tree    *bptree.Tree // adjacency tree (CombinatorialTest or hybrid prefilter)
+	// treeFinal marks the tree query as the elementarity verdict itself
+	// (CombinatorialTest). When false and tree != nil, the tree is the
+	// hybrid reject-only prefilter and the rank test stays the arbiter.
+	treeFinal bool
+	// Per-row constants of the pair sweep, computed once in BeginRow:
+	// the processed-prefix mask (rows 0..Row), the support bounds, and
+	// per-column popcount caches over the current set so the sweep can
+	// bound |supp(p) ∪ supp(n)| from two table lookups plus an
+	// early-exit intersection count instead of a full union sweep.
+	prefixMask  []uint64
+	maxSupport  int
+	prefixBound int
+	suppSize    []int32 // popcount(support) per current column
+	prefixSize  []int32 // popcount(support ∩ prefixMask) per current column
 }
 
 // BeginRow partitions the current columns by their sign in the given
@@ -243,14 +264,69 @@ func BeginRow(p *nullspace.Problem, set *ModeSet, row int, opts Options) *RowIte
 		Neg:        len(it.Neg),
 		Zero:       len(it.Zero),
 	}
-	if opts.Test == CombinatorialTest && len(it.Pos) > 0 && len(it.Neg) > 0 {
-		b := bptree.NewBuilder(set.Q())
+	words := set.words
+	it.maxSupport = p.M() + 1
+	// Tighter pre-filter bound on the already-processed prefix (rows
+	// 0..Row): an intermediate extreme ray's tight constraint set must
+	// leave a one-dimensional kernel, which bounds the support restricted
+	// to the identity block plus processed rows by (#processed + 1). The
+	// union estimate ignores (rare, non-generic) cancellations in
+	// processed reversible rows — the same genericity assumption every
+	// floating point implementation of the candidate filters makes; the
+	// exact bound is re-applied after the numeric combination.
+	it.prefixBound = row - p.D + 2
+	it.prefixMask = make([]uint64, words)
+	for r := 0; r <= row; r++ {
+		it.prefixMask[r/64] |= 1 << uint(r%64)
+	}
+	if len(it.Pos) > 0 && len(it.Neg) > 0 {
+		it.suppSize = make([]int32, set.Len())
+		it.prefixSize = make([]int32, set.Len())
 		for i := 0; i < set.Len(); i++ {
-			b.Add(set.BitsWords(i))
+			w := set.BitsWords(i)
+			var total, pfx int
+			for k, v := range w {
+				total += popcount(v)
+				pfx += popcount(v & it.prefixMask[k])
+			}
+			it.suppSize[i] = int32(total)
+			it.prefixSize[i] = int32(pfx)
 		}
-		it.tree = b.Build()
+		switch {
+		case opts.Test == CombinatorialTest:
+			it.treeFinal = true
+			it.buildTree()
+		case !opts.DisableHybrid && pointed(p.Rev):
+			// Hybrid fast path: on a pointed cone the superset query is a
+			// sound necessary condition for adjacency, so the tree can
+			// reject candidates before the (much costlier) rank test
+			// without changing any verdict the rank test would reach.
+			it.buildTree()
+		}
 	}
 	return it
+}
+
+// buildTree constructs the row's bit-pattern tree over the current
+// columns' supports. The set is immutable for the lifetime of the row, so
+// the patterns are borrowed, not copied.
+func (it *RowIter) buildTree() {
+	b := bptree.NewBuilder(it.Set.Q())
+	for i := 0; i < it.Set.Len(); i++ {
+		b.AddBorrowed(it.Set.BitsWords(i))
+	}
+	it.tree = b.Build()
+}
+
+// pointed reports whether the problem's flux cone is pointed: no
+// reversible rows remain (every reversible reaction was split or absent).
+func pointed(rev []bool) bool {
+	for _, r := range rev {
+		if r {
+			return false
+		}
+	}
+	return true
 }
 
 // Pairs returns the number of candidate combinations this row generates.
@@ -290,23 +366,10 @@ func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, fro
 	t0 := time.Now()
 	tol := it.opts.tol()
 	set := it.Set
-	m := it.Problem.M()
 	words := set.words
-	maxSupport := m + 1
-	// Tighter pre-filter on the already-processed prefix (rows 0..Row):
-	// an intermediate extreme ray's tight constraint set must leave a
-	// one-dimensional kernel, which bounds the support restricted to the
-	// identity block plus processed rows by (#processed + 1). The union
-	// estimate ignores (rare, non-generic) cancellations in processed
-	// reversible rows — the same genericity assumption every floating
-	// point implementation of the candidate filters makes; the exact
-	// bound is re-applied after the numeric combination.
-	prefixBound := it.Row - it.Problem.D + 2
-	prefixMask := growUint64(&sc.prefixMask, words)
-	clear(prefixMask)
-	for r := 0; r <= it.Row; r++ {
-		prefixMask[r/64] |= 1 << uint(r%64)
-	}
+	maxSupport := it.maxSupport
+	prefixBound := it.prefixBound
+	prefixMask := it.prefixMask
 
 	tailLen := set.TailLen()
 	newTail := growFloat64(&sc.newTail, tailLen-1)
@@ -317,8 +380,9 @@ func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, fro
 	}
 	supportIdx := sc.supportIdx
 
-	var testSeconds float64
+	var testSeconds, treeSeconds float64
 	var sampledTests, timedTests int64
+	var sampledTreeQueries, treeQueries int64
 	nNeg := int64(len(it.Neg))
 	bits := set.bits
 	rowWord, rowBit := it.Row/64, uint64(1)<<uint(it.Row%64)
@@ -332,29 +396,46 @@ func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, fro
 		tp := set.Tail(pi)
 		rp := set.RevVals(pi)
 		beta := tp[0]
+		pcP := int(it.suppSize[pi])
+		ppcP := int(it.prefixSize[pi])
 		for ; kn < len(it.Neg) && remaining > 0; kn++ {
 			remaining--
 			ni := it.Neg[kn]
 			bn := bits[ni*words : ni*words+words]
 			// Cheap support pre-tests on the parents' union (the union
-			// includes the current row, zero in the candidate).
-			prefixCount := 0
-			total := 0
+			// includes the current row, zero in the candidate), via
+			// |supp(p) ∪ supp(n)| = |supp(p)| + |supp(n)| − |∩|: the
+			// cached per-column popcounts turn the union bound into two
+			// lookups plus an intersection count that stops as soon as
+			// enough shared bits are seen. Reject iff the old full-union
+			// sweep would have — the counts are identities, not
+			// approximations.
+			needTotal := pcP + int(it.suppSize[ni]) - 1 - maxSupport
+			needPrefix := ppcP + int(it.prefixSize[ni]) - 1 - prefixBound
+			if needTotal > 0 || needPrefix > 0 {
+				inter, interPfx := 0, 0
+				for w := 0; w < words; w++ {
+					u := bp[w] & bn[w]
+					inter += popcount(u)
+					interPfx += popcount(u & prefixMask[w])
+					if inter >= needTotal && interPfx >= needPrefix {
+						break
+					}
+				}
+				if inter < needTotal || interPfx < needPrefix {
+					st.Prefiltered++
+					continue
+				}
+			}
 			for w := 0; w < words; w++ {
-				u := bp[w] | bn[w]
-				orWords[w] = u
-				total += popcount(u)
-				prefixCount += popcount(u & prefixMask[w])
+				orWords[w] = bp[w] | bn[w]
 			}
-			if total-1 > maxSupport || prefixCount-1 > prefixBound {
-				st.Prefiltered++
-				continue
-			}
-			if it.tree != nil {
+			if it.treeFinal {
 				// Combinatorial adjacency test on the parents' support
 				// union: any third column whose support fits inside it
 				// proves the pair non-adjacent. Bits only — run before
-				// the numeric combination.
+				// the numeric combination; the verdict is final and timed
+				// per query.
 				tTest := time.Now()
 				st.Tested++
 				hit := it.tree.HasSubsetOfExcluding(orWords, pi, ni)
@@ -422,11 +503,42 @@ func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, fro
 				st.Prefiltered++
 				continue
 			}
-			if it.tree == nil {
+			if it.tree != nil && !it.treeFinal {
+				// Hybrid fast path: bit-pattern-tree superset query on the
+				// candidate's EXACT support (not the parents' union — exact
+				// cancellations in unprocessed rows can shrink the support
+				// below the union, and a hit against the union alone would
+				// reject pairs the rank test accepts). A hit is conclusive:
+				// every current column lies in ker N, so a column whose
+				// support fits strictly inside supp(c) is a second kernel
+				// dimension of N[:,supp(c)] — the rank test would reject —
+				// and an exact-equal support re-derives a kept ray, which
+				// the assemble-stage survivor dedup drops. Reject-only, so
+				// the rank test stays the final arbiter; timing is sampled
+				// (1 in 64) to keep time.Now() off the hot path.
+				sample := treeQueries&63 == 0
+				treeQueries++
+				var tTest time.Time
+				if sample {
+					tTest = time.Now()
+				}
+				hit := it.tree.HasSubsetOfExcluding(cw, pi, ni)
+				if sample {
+					treeSeconds += time.Since(tTest).Seconds()
+					sampledTreeQueries++
+				}
+				if hit {
+					cands.truncateLast()
+					st.TreeRejects++
+					continue
+				}
+			}
+			if !it.treeFinal {
 				// Algebraic rank test (the paper's default): the
 				// support submatrix of N must have nullity exactly 1.
-				// Timing is sampled (1 in 64) to keep time.Now() off
-				// the hot path.
+				// On the hybrid path it runs after the tree prefilter
+				// and remains the final arbiter. Timing is sampled
+				// (1 in 64) to keep time.Now() off the hot path.
 				st.Tested++
 				sample := st.Tested&63 == 0
 				var tTest time.Time
@@ -451,11 +563,25 @@ func (it *RowIter) GenerateIntoScratch(cands *ModeSet, ws *linalg.Workspace, fro
 	// Extrapolation happens here, per call — i.e. per worker when the
 	// pair space is sharded — with the call-local sampled/timed counters.
 	// Folding workers together afterwards just sums the per-worker
-	// TestSeconds; scaling a shared counter would double-count.
-	testSec, genSec := extrapolateSampled(time.Since(t0).Seconds(), testSeconds, sampledTests, timedTests)
+	// TestSeconds; scaling a shared counter would double-count. Rank
+	// tests and hybrid tree queries are scaled by their own sampling
+	// ratios (their per-op costs differ by orders of magnitude) before
+	// the shared wall-clock clamp.
+	scaled := scaleSampled(testSeconds, sampledTests, timedTests) +
+		scaleSampled(treeSeconds, sampledTreeQueries, treeQueries)
+	testSec, genSec := extrapolateSampled(time.Since(t0).Seconds(), scaled, 0, 0)
 	st.Pairs += to - from
 	st.TestSeconds += testSec
 	st.GenSeconds += genSec
+}
+
+// scaleSampled extrapolates sampled seconds up to the full operation
+// count; with no samples taken it returns the input unchanged.
+func scaleSampled(seconds float64, sampled, total int64) float64 {
+	if sampled > 0 {
+		seconds *= float64(total) / float64(sampled)
+	}
+	return seconds
 }
 
 // extrapolateSampled scales the sampled rank-test seconds up to the full
@@ -523,7 +649,8 @@ func (it *RowIter) AssembleNext(candSets ...*ModeSet) (*ModeSet, error) {
 			refs = append(refs, candRef{int32(si), int32(i)})
 		}
 	}
-	sort.Slice(refs, func(a, b int) bool { return compareRefs(candSets, refs[a], refs[b]) < 0 })
+	var tmp []candRef
+	radixSortRefs(candSets, refs, &tmp)
 	return it.assemble(candSets, refs, t0)
 }
 
@@ -589,16 +716,24 @@ func (it *RowIter) assemble(candSets []*ModeSet, refs []candRef, t0 time.Time) (
 
 // IsElementary runs the exact-support algebraic rank test on mode i of
 // the set: true iff the stoichiometric submatrix over the mode's support
-// has nullity exactly one. Exposed for the divide-and-conquer driver,
-// which must re-validate extracted columns at its early stop point (the
-// narrowed mid-run test admits columns the remaining iterations would
-// have eliminated). Not for hot paths — it allocates a workspace.
+// has nullity exactly one. Not for hot paths — it allocates a workspace
+// per call; batch callers should hold one workspace and use
+// IsElementaryWS.
 func IsElementary(p *nullspace.Problem, set *ModeSet, i int, tol float64) bool {
+	return IsElementaryWS(p, set, i, tol, linalg.NewWorkspace(p.M()+2, p.M()+2), nil)
+}
+
+// IsElementaryWS is IsElementary with a caller-owned workspace and
+// support-index scratch (scratch may be nil), so batch re-validation —
+// the divide-and-conquer driver re-checks every extracted column at its
+// early stop point — reuses one elimination buffer across calls instead
+// of allocating per mode. The workspace must not be shared between
+// concurrent calls.
+func IsElementaryWS(p *nullspace.Problem, set *ModeSet, i int, tol float64, ws *linalg.Workspace, scratch []int) bool {
 	if tol <= 0 {
 		tol = linalg.DefaultTol
 	}
-	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
-	return nullityIsOne(p, ws, set, i, set.SupportSize(i), tol, nil)
+	return nullityIsOne(p, ws, set, i, set.SupportSize(i), tol, scratch)
 }
 
 // nullityIsOne decides whether the support submatrix of N over mode
@@ -627,7 +762,7 @@ func nullityIsOne(p *nullspace.Problem, ws *linalg.Workspace, cands *ModeSet, id
 			copy(buf[o:o+d], p.KernelRows[r*d:(r+1)*d])
 			o += d
 		}
-		exceeds, def := linalg.RankDeficiencyExceeds(buf, comp, d, tol, 1)
+		exceeds, def := ws.RankDeficiencyExceeds(buf, comp, d, tol, 1)
 		return !exceeds && def == 1
 	}
 	support := cands.SupportIndices(idx, scratch)
@@ -638,7 +773,7 @@ func nullityIsOne(p *nullspace.Problem, ws *linalg.Workspace, cands *ModeSet, id
 			buf[i*s+jj] = c[i]
 		}
 	}
-	exceeds, def := linalg.RankDeficiencyExceeds(buf, m, s, tol, 1)
+	exceeds, def := ws.RankDeficiencyExceeds(buf, m, s, tol, 1)
 	return !exceeds && def == 1
 }
 
@@ -673,6 +808,7 @@ func (it *RowIter) MergeStats(parts ...*IterStats) {
 	for _, p := range parts {
 		it.Stats.Pairs += p.Pairs
 		it.Stats.Prefiltered += p.Prefiltered
+		it.Stats.TreeRejects += p.TreeRejects
 		it.Stats.Tested += p.Tested
 		it.Stats.Accepted += p.Accepted
 		it.Stats.GenSeconds += p.GenSeconds

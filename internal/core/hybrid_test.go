@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+// pointedProblems builds pointed fixtures for the hybrid fast path: the
+// toy network and reversible-rich synthetics with every reversible
+// reaction split, plus a synthetic that is pointed as written (no
+// reversible reactions at all).
+func pointedProblems(t *testing.T) map[string]*nullspace.Problem {
+	t.Helper()
+	nets := map[string]*model.Network{"toy": model.Toy()}
+	for _, ps := range []synth.Params{
+		{Layers: 4, Width: 3, CrossLinks: 5, ReversibleFraction: 0.2, MaxCoef: 2, Seed: 7},
+		{Layers: 6, Width: 6, CrossLinks: 14, ReversibleFraction: 0.2, MaxCoef: 2, Seed: 42},
+		{Layers: 4, Width: 4, CrossLinks: 8, ReversibleFraction: 0, MaxCoef: 2, Seed: 3},
+	} {
+		n, err := synth.Network(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[n.Name] = n
+	}
+	out := make(map[string]*nullspace.Problem)
+	for name, n := range nets {
+		red, err := reduce.Network(n, reduce.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pointed(p.Rev) {
+			t.Fatalf("%s: fixture not pointed after splitting", name)
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// TestHybridMatchesRankOnlyPointed: on pointed problems the hybrid tree
+// prefilter must not change a single verdict — mode sets bit-identical
+// to the pure rank test at every worker count, and the candidate
+// accounting must balance exactly: the prefilter counts agree, and every
+// candidate the tree rejects is one the rank test no longer sees.
+func TestHybridMatchesRankOnlyPointed(t *testing.T) {
+	for name, p := range pointedProblems(t) {
+		rankOnly, err := Run(p, Options{Workers: 1, DisableHybrid: true})
+		if err != nil {
+			t.Fatalf("%s: rank-only: %v", name, err)
+		}
+		for _, s := range rankOnly.Stats {
+			if s.TreeRejects != 0 {
+				t.Fatalf("%s: rank-only run recorded %d tree rejects", name, s.TreeRejects)
+			}
+		}
+		for _, workers := range []int{1, 4, 8} {
+			hybrid, err := Run(p, Options{Workers: workers, DisableHybrid: false})
+			if err != nil {
+				t.Fatalf("%s workers=%d: hybrid: %v", name, workers, err)
+			}
+			requireIdenticalSets(t, name+"/hybrid", rankOnly.Modes, hybrid.Modes)
+			if hf, rf := hybrid.Modes.Fingerprint(), rankOnly.Modes.Fingerprint(); hf != rf {
+				t.Fatalf("%s workers=%d: fingerprint %016x, want %016x", name, workers, hf, rf)
+			}
+			for i, s := range hybrid.Stats {
+				ref := rankOnly.Stats[i]
+				if s.Pairs != ref.Pairs || s.Prefiltered != ref.Prefiltered ||
+					s.Accepted != ref.Accepted || s.ModesOut != ref.ModesOut {
+					t.Fatalf("%s workers=%d row %d: counters diverge:\n got %+v\nwant %+v",
+						name, workers, i, s, ref)
+				}
+				if s.Tested+s.TreeRejects != ref.Tested {
+					t.Fatalf("%s workers=%d row %d: tested %d + tree rejects %d != rank-only tested %d",
+						name, workers, i, s.Tested, s.TreeRejects, ref.Tested)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridTreeRejectsSomething: the fast path must actually fire on a
+// workload with non-adjacent pairs, otherwise the suite would pass with
+// the prefilter silently disabled.
+func TestHybridTreeRejectsSomething(t *testing.T) {
+	n, err := synth.Network(synth.Params{
+		Layers: 6, Width: 6, CrossLinks: 14, ReversibleFraction: 0.2, MaxCoef: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejects int64
+	for _, s := range res.Stats {
+		rejects += s.TreeRejects
+	}
+	if rejects == 0 {
+		t.Fatal("hybrid run recorded no tree rejects on a workload known to have non-adjacent pairs")
+	}
+}
+
+// TestHybridInertOnNonPointed: with reversible rows present the superset
+// test is not a sound reject, so the tree must never be consulted — no
+// tree rejects, and results identical with the hybrid nominally enabled
+// or disabled.
+func TestHybridInertOnNonPointed(t *testing.T) {
+	for name, p := range fixtureProblems(t) {
+		if pointed(p.Rev) {
+			continue
+		}
+		enabled, err := Run(p, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, s := range enabled.Stats {
+			if s.TreeRejects != 0 {
+				t.Fatalf("%s: non-pointed run recorded %d tree rejects", name, s.TreeRejects)
+			}
+		}
+		disabled, err := Run(p, Options{DisableHybrid: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		requireIdenticalSets(t, name+"/nonpointed", disabled.Modes, enabled.Modes)
+	}
+}
+
+// TestHybridMatchesRankOnlyYeastPrefix: the exact-support tree query on
+// a real network slice. The early yeast rows (split, so pointed) include
+// candidates whose support shrinks below the parents' union through
+// exact cancellation in unprocessed rows — a union-keyed query would
+// over-reject here, so this fixture pins the exact-support semantics.
+func TestHybridMatchesRankOnlyYeastPrefix(t *testing.T) {
+	red, err := reduce.Network(model.YeastI(), reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.D + 20
+	rankOnly, err := Run(p, Options{LastRow: last, DisableHybrid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		hybrid, err := Run(p, Options{LastRow: last, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireIdenticalSets(t, "yeast-prefix", rankOnly.Modes, hybrid.Modes)
+	}
+}

@@ -14,7 +14,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -25,8 +24,9 @@ import (
 // GenScratch holds the per-call buffers of GenerateInto, hoisted so a
 // worker can reuse them across rows and chunks. The zero value is ready
 // to use. Not safe for concurrent use; give each worker its own.
+// (Row-constant state — the prefix mask and the popcount caches — lives
+// on the RowIter instead, computed once per row and shared read-only.)
 type GenScratch struct {
-	prefixMask []uint64
 	orWords    []uint64
 	newTail    []float64
 	newRev     []float64
@@ -58,6 +58,7 @@ type poolWorker struct {
 	sc    GenScratch
 	st    IterStats
 	run   []candRef // sorted candidate refs, reused across rows
+	tmp   []candRef // radix-sort scatter buffer, reused across rows
 }
 
 // Pool is a reusable shared-memory worker pool for one enumeration run
@@ -98,6 +99,7 @@ func (pl *Pool) Workers() int { return len(pl.workers) }
 func addGenStats(dst, src *IterStats) {
 	dst.Pairs += src.Pairs
 	dst.Prefiltered += src.Prefiltered
+	dst.TreeRejects += src.TreeRejects
 	dst.Tested += src.Tested
 	dst.Accepted += src.Accepted
 	dst.GenSeconds += src.GenSeconds
@@ -157,15 +159,19 @@ func (pl *Pool) AssembleNext(it *RowIter, candSets []*ModeSet) (*ModeSet, error)
 	sortRun := func(si int) {
 		cs := candSets[si]
 		var buf []candRef
+		var tmp *[]candRef
 		if si < len(pl.workers) {
 			buf = pl.workers[si].run[:0]
+			tmp = &pl.workers[si].tmp
+		} else {
+			tmp = new([]candRef)
 		}
 		for i := 0; i < cs.Len(); i++ {
 			buf = append(buf, candRef{int32(si), int32(i)})
 		}
 		// Within one set the tie-break (set, idx) reduces to idx, so the
 		// per-run sort already realizes the global total order.
-		sortRefs(candSets, buf)
+		radixSortRefs(candSets, buf, tmp)
 		if si < len(pl.workers) {
 			pl.workers[si].run = buf
 		}
@@ -187,11 +193,6 @@ func (pl *Pool) AssembleNext(it *RowIter, candSets []*ModeSet) (*ModeSet, error)
 		wg.Wait()
 	}
 	return it.assemble(candSets, mergeRuns(candSets, runs), t0)
-}
-
-// sortRefs sorts refs by the global candidate total order.
-func sortRefs(candSets []*ModeSet, refs []candRef) {
-	sort.Slice(refs, func(a, b int) bool { return compareRefs(candSets, refs[a], refs[b]) < 0 })
 }
 
 // mergeRuns k-way merges per-set sorted runs into one globally sorted ref

@@ -1,0 +1,110 @@
+package core
+
+// Allocation-free MSD radix sort for candidate references, replacing the
+// closure-based sort.Slice in the merge path. The sort key is the full
+// comparison key of compareRefs, serialized most-significant byte first:
+// the support words from the top word down, then 8 tie-break bytes built
+// from (set, idx). The key discriminates totally — two distinct refs
+// never share all key bytes — so equal-support duplicates resolve to the
+// candidate generated first exactly as the comparison sort did, and the
+// partition needs no stability guarantee (it is stable anyway: a
+// counting scatter through the aux buffer preserves input order).
+
+// radixInsertionCutoff is the partition size below which the sort falls
+// back to an insertion sort on compareRefs; radix passes on tiny ranges
+// cost more in counting overhead than they save.
+const radixInsertionCutoff = 24
+
+// radixSortRefs sorts refs by the global candidate total order
+// (support words most significant first, then set, then idx). tmp is a
+// caller-retained scratch buffer grown to len(refs); reusing it across
+// rows keeps the sort allocation-free in steady state. All candSets must
+// share one layout (the same bit width), as everywhere in the merge path.
+func radixSortRefs(candSets []*ModeSet, refs []candRef, tmp *[]candRef) {
+	if len(refs) < 2 {
+		return
+	}
+	if cap(*tmp) < len(refs) {
+		*tmp = make([]candRef, len(refs))
+	}
+	words := candSets[0].words
+	radixSortRange(candSets, words, refs, (*tmp)[:len(refs)], 0)
+}
+
+// refKeyByte returns byte `depth` of ref r's serialized sort key:
+// depths [0, words*8) walk the support words from the most significant
+// byte of the top word down; depths [words*8, words*8+8) walk the 8-byte
+// big-endian (set, idx) tie-break.
+func refKeyByte(candSets []*ModeSet, words int, r candRef, depth int) byte {
+	if depth < words*8 {
+		w := candSets[r.set].BitsWords(int(r.idx))[words-1-depth/8]
+		return byte(w >> uint((7-depth%8)*8))
+	}
+	d := depth - words*8
+	tb := uint64(uint32(r.set))<<32 | uint64(uint32(r.idx))
+	return byte(tb >> uint((7-d)*8))
+}
+
+func radixSortRange(candSets []*ModeSet, words int, refs, tmp []candRef, depth int) {
+	maxDepth := words*8 + 8
+	for {
+		if len(refs) <= radixInsertionCutoff || depth >= maxDepth {
+			insertionSortRefs(candSets, refs)
+			return
+		}
+		var counts [256]int
+		for _, r := range refs {
+			counts[refKeyByte(candSets, words, r, depth)]++
+		}
+		// A level where every key shares one byte partitions nothing;
+		// skip to the next byte without touching the data.
+		uniform := false
+		for _, c := range counts {
+			if c == len(refs) {
+				uniform = true
+				break
+			}
+			if c > 0 {
+				break
+			}
+		}
+		if uniform {
+			depth++
+			continue
+		}
+		var offs [256]int
+		o := 0
+		for b, c := range counts {
+			offs[b] = o
+			o += c
+		}
+		for _, r := range refs {
+			b := refKeyByte(candSets, words, r, depth)
+			tmp[offs[b]] = r
+			offs[b]++
+		}
+		copy(refs, tmp)
+		start := 0
+		for _, c := range counts {
+			if c > 1 {
+				radixSortRange(candSets, words, refs[start:start+c], tmp[start:start+c], depth+1)
+			}
+			start += c
+		}
+		return
+	}
+}
+
+// insertionSortRefs sorts small ranges with the comparison the radix key
+// serializes; on a handful of elements it beats another counting pass.
+func insertionSortRefs(candSets []*ModeSet, refs []candRef) {
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		j := i - 1
+		for j >= 0 && compareRefs(candSets, refs[j], r) > 0 {
+			refs[j+1] = refs[j]
+			j--
+		}
+		refs[j+1] = r
+	}
+}

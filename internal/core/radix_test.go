@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomCandSets builds nSets mode sets of q-bit modes with randomized
+// supports, salted with exact duplicates both within and across sets so
+// the tie-break bytes of the radix key get exercised.
+func randomCandSets(rng *rand.Rand, nSets, modesPer, q int) []*ModeSet {
+	sets := make([]*ModeSet, nSets)
+	tails := make([][]float64, 0, nSets*modesPer)
+	for si := range sets {
+		sets[si] = NewModeSet(q, 0, nil)
+		for i := 0; i < modesPer; i++ {
+			var tail []float64
+			if len(tails) > 0 && rng.Intn(4) == 0 {
+				tail = tails[rng.Intn(len(tails))] // duplicate support
+			} else {
+				tail = make([]float64, q)
+				for j := range tail {
+					if rng.Intn(3) == 0 {
+						tail[j] = 1 + rng.Float64()
+					}
+				}
+			}
+			tails = append(tails, tail)
+			sets[si].AppendMode(nil, tail, nil, 0)
+		}
+	}
+	return sets
+}
+
+// TestRadixSortRefsMatchesComparisonSort: the allocation-free radix sort
+// must reproduce the comparison sort's order exactly — same total order
+// (support words most significant first, then set, then idx) on every
+// mix of widths, sizes and duplicate densities, including sizes below
+// the insertion-sort cutoff and the empty and single-element edges.
+func TestRadixSortRefsMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ nSets, modesPer, q int }{
+		{1, 0, 5},
+		{1, 1, 5},
+		{1, 7, 3},
+		{1, radixInsertionCutoff, 17},
+		{1, radixInsertionCutoff + 1, 17},
+		{3, 40, 64},
+		{2, 300, 70},
+		{4, 500, 130},
+	}
+	for _, tc := range cases {
+		candSets := randomCandSets(rng, tc.nSets, tc.modesPer, tc.q)
+		var refs []candRef
+		for si, cs := range candSets {
+			for i := 0; i < cs.Len(); i++ {
+				refs = append(refs, candRef{int32(si), int32(i)})
+			}
+		}
+		// Shuffle so the input order carries no information.
+		rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		want := append([]candRef(nil), refs...)
+		sort.Slice(want, func(i, j int) bool { return compareRefs(candSets, want[i], want[j]) < 0 })
+
+		var tmp []candRef
+		radixSortRefs(candSets, refs, &tmp)
+		for i := range want {
+			if refs[i] != want[i] {
+				t.Fatalf("sets=%d modes=%d q=%d: position %d: got %+v, want %+v",
+					tc.nSets, tc.modesPer, tc.q, i, refs[i], want[i])
+			}
+		}
+		// The scratch buffer must be reusable across calls.
+		rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		radixSortRefs(candSets, refs, &tmp)
+		for i := range want {
+			if refs[i] != want[i] {
+				t.Fatalf("sets=%d modes=%d q=%d: reuse pass position %d: got %+v, want %+v",
+					tc.nSets, tc.modesPer, tc.q, i, refs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRadixSortRefsAllEqualSupports: a degenerate input where every
+// support is identical forces the sort through all word levels into the
+// tie-break bytes; the result must be generation order (set, then idx).
+func TestRadixSortRefsAllEqualSupports(t *testing.T) {
+	const q = 70
+	tail := make([]float64, q)
+	tail[3], tail[40], tail[69] = 1, 2, 3
+	candSets := make([]*ModeSet, 3)
+	for si := range candSets {
+		candSets[si] = NewModeSet(q, 0, nil)
+		for i := 0; i < 50; i++ {
+			candSets[si].AppendMode(nil, tail, nil, 0)
+		}
+	}
+	var refs []candRef
+	for si := 2; si >= 0; si-- {
+		for i := 49; i >= 0; i-- {
+			refs = append(refs, candRef{int32(si), int32(i)})
+		}
+	}
+	var tmp []candRef
+	radixSortRefs(candSets, refs, &tmp)
+	k := 0
+	for si := 0; si < 3; si++ {
+		for i := 0; i < 50; i++ {
+			if refs[k] != (candRef{int32(si), int32(i)}) {
+				t.Fatalf("position %d: got %+v, want {%d %d}", k, refs[k], si, i)
+			}
+			k++
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"elmocomp/internal/bitset"
 	"elmocomp/internal/core"
+	"elmocomp/internal/linalg"
 	"elmocomp/internal/nullspace"
 	"elmocomp/internal/parallel"
 	"elmocomp/internal/ratmat"
@@ -365,6 +366,12 @@ func extract(run *core.Result, p *nullspace.Problem, keep []int, nzfLocal []int,
 	}
 	var out []bitset.Set
 	seen := make(map[uint64][]int)
+	// One shared elimination workspace and support-index scratch for the
+	// whole re-validation sweep: the early-stop point re-checks every
+	// extracted column, and a per-column workspace allocation would
+	// dominate the loop on large classes.
+	ws := linalg.NewWorkspace(p.M()+2, p.M()+2)
+	scratch := make([]int, 0, p.Q())
 	for i := 0; i < set.Len(); i++ {
 		ok := true
 		for _, r := range mustRows {
@@ -388,7 +395,7 @@ func extract(run *core.Result, p *nullspace.Problem, keep []int, nzfLocal []int,
 		// condition (the mid-run test is narrower and can let columns
 		// through that later iterations would have eliminated; initial
 		// kernel basis columns were never tested at all).
-		if !core.IsElementary(p, set, i, 0) {
+		if !core.IsElementaryWS(p, set, i, 0, ws, scratch) {
 			continue
 		}
 		b := bitset.New(fullQ)

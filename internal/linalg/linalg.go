@@ -60,14 +60,18 @@ func Rank(a []float64, rows, cols int, tol float64) int {
 			}
 		}
 		p := a[rank*cols+col]
+		// Pin the pivot row and each target row as slices so the fused
+		// scale-and-subtract loop runs without per-element bounds checks.
+		prow := a[rank*cols+col : rank*cols+cols]
 		for i := rank + 1; i < rows; i++ {
 			f := a[i*cols+col] / p
 			if f == 0 {
 				continue
 			}
-			a[i*cols+col] = 0
-			for k := col + 1; k < cols; k++ {
-				a[i*cols+k] -= f * a[rank*cols+k]
+			irow := a[i*cols+col : i*cols+cols]
+			irow[0] = 0
+			for k := 1; k < len(prow); k++ {
+				irow[k] -= f * prow[k]
 			}
 		}
 		rank++
@@ -79,7 +83,8 @@ func Rank(a []float64, rows, cols int, tol float64) int {
 // submatrices gathered from a fixed parent matrix. It is not safe for
 // concurrent use; each worker goroutine owns one.
 type Workspace struct {
-	buf []float64
+	buf  []float64
+	perm []int // pivot row permutation, reused across eliminations
 }
 
 // NewWorkspace returns a workspace able to hold a rows×cols matrix.
@@ -167,16 +172,34 @@ func (m *ColMajor) RankOfColumns(w *Workspace, cols []int, tol float64) int {
 // as the answer is known. When it returns false, def holds the exact
 // deficiency (≤ maxDef). This is the hot elementarity test: candidates
 // are rejected as soon as a second deficient column is found.
+//
+// Hot-path callers should use the Workspace method, which reuses the
+// pivot-permutation buffer across calls; this free function allocates
+// one per call.
 func RankDeficiencyExceeds(a []float64, rows, cols int, tol float64, maxDef int) (exceeds bool, def int) {
+	var w Workspace
+	return w.RankDeficiencyExceeds(a, rows, cols, tol, maxDef)
+}
+
+// RankDeficiencyExceeds is the workspace form of the free function: the
+// same early-exit elimination, with row interchanges performed on an
+// index permutation instead of physically swapping row storage, and the
+// inner scale-and-subtract fused over pinned row slices. The pivot scan
+// visits the logical rows in exactly the order the row-swapping
+// formulation would (the permutation applies the same transpositions),
+// so pivot choices — including ties — and every float operation match
+// bit for bit.
+func (w *Workspace) RankDeficiencyExceeds(a []float64, rows, cols int, tol float64, maxDef int) (exceeds bool, def int) {
 	if len(a) < rows*cols {
 		panic(fmt.Sprintf("linalg: buffer %d too small for %dx%d", len(a), rows, cols))
 	}
 	if tol <= 0 {
 		tol = DefaultTol
 	}
+	a = a[:rows*cols]
 	maxAbs := 0.0
-	for i := 0; i < rows*cols; i++ {
-		if v := math.Abs(a[i]); v > maxAbs {
+	for _, v := range a {
+		if v := math.Abs(v); v > maxAbs {
 			maxAbs = v
 		}
 	}
@@ -184,6 +207,7 @@ func RankDeficiencyExceeds(a []float64, rows, cols int, tol float64, maxDef int)
 		return cols > maxDef, cols
 	}
 	thresh := tol * maxAbs
+	perm := w.permBuf(rows)
 	rank := 0
 	for col := 0; col < cols; col++ {
 		// Columns that can no longer get a pivot (rows exhausted) are
@@ -192,38 +216,51 @@ func RankDeficiencyExceeds(a []float64, rows, cols int, tol float64, maxDef int)
 			def += cols - col
 			return def > maxDef, def
 		}
-		pivRow, pivVal := -1, thresh
+		pivIdx, pivVal := -1, thresh
 		for i := rank; i < rows; i++ {
-			if v := math.Abs(a[i*cols+col]); v > pivVal {
-				pivRow, pivVal = i, v
+			if v := math.Abs(a[perm[i]*cols+col]); v > pivVal {
+				pivIdx, pivVal = i, v
 			}
 		}
-		if pivRow < 0 {
+		if pivIdx < 0 {
 			def++
 			if def > maxDef {
 				return true, def
 			}
 			continue
 		}
-		if pivRow != rank {
-			for k := col; k < cols; k++ {
-				a[rank*cols+k], a[pivRow*cols+k] = a[pivRow*cols+k], a[rank*cols+k]
-			}
-		}
-		p := a[rank*cols+col]
+		perm[rank], perm[pivIdx] = perm[pivIdx], perm[rank]
+		pr := perm[rank] * cols
+		p := a[pr+col]
+		prow := a[pr+col : pr+cols]
 		for i := rank + 1; i < rows; i++ {
-			f := a[i*cols+col] / p
+			ri := perm[i] * cols
+			f := a[ri+col] / p
 			if f == 0 {
 				continue
 			}
-			a[i*cols+col] = 0
-			for k := col + 1; k < cols; k++ {
-				a[i*cols+k] -= f * a[rank*cols+k]
+			irow := a[ri+col : ri+cols]
+			irow[0] = 0
+			for k := 1; k < len(prow); k++ {
+				irow[k] -= f * prow[k]
 			}
 		}
 		rank++
 	}
 	return def > maxDef, def
+}
+
+// permBuf returns the identity permutation over n rows, reusing the
+// workspace's buffer.
+func (w *Workspace) permBuf(n int) []int {
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	w.perm = w.perm[:n]
+	for i := range w.perm {
+		w.perm[i] = i
+	}
+	return w.perm
 }
 
 // Dot returns the dot product of equal-length vectors.

@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"testing"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+// TestHybridPrefilterMatchesRankOnlyAcrossNodes: on a pointed problem
+// the distributed driver must produce the same bit-identical mode set
+// with the hybrid tree prefilter on and off, for every node/worker
+// combination — the prefilter may only remove rank-test work, never
+// change a replica's content.
+func TestHybridPrefilterMatchesRankOnlyAcrossNodes(t *testing.T) {
+	n, err := synth.Network(synth.Params{
+		Layers: 6, Width: 6, CrossLinks: 14, ReversibleFraction: 0.2, MaxCoef: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.Run(p, core.Options{DisableHybrid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Modes.Fingerprint()
+	var sawTreeRejects bool
+	for _, nodes := range []int{1, 2, 3} {
+		for _, workers := range []int{1, 4} {
+			for _, disable := range []bool{true, false} {
+				res, err := Run(p, Options{
+					Nodes: nodes,
+					Core:  core.Options{Workers: workers, DisableHybrid: disable},
+				})
+				if err != nil {
+					t.Fatalf("nodes=%d workers=%d disable=%v: %v", nodes, workers, disable, err)
+				}
+				if got := res.Modes.Fingerprint(); got != want {
+					t.Fatalf("nodes=%d workers=%d disable=%v: fingerprint %016x, want %016x",
+						nodes, workers, disable, got, want)
+				}
+				var rejects int64
+				for _, s := range res.Stats {
+					rejects += s.TreeRejects
+				}
+				if disable && rejects != 0 {
+					t.Fatalf("nodes=%d workers=%d: disabled run recorded %d tree rejects", nodes, workers, rejects)
+				}
+				if !disable && rejects > 0 {
+					sawTreeRejects = true
+				}
+			}
+		}
+	}
+	if !sawTreeRejects {
+		t.Fatal("no hybrid run recorded tree rejects; the fast path never engaged")
+	}
+}

@@ -202,6 +202,7 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 			s := results[r].stats[i]
 			agg[i].Pairs += s.Pairs
 			agg[i].Prefiltered += s.Prefiltered
+			agg[i].TreeRejects += s.TreeRejects
 			agg[i].Tested += s.Tested
 			agg[i].Accepted += s.Accepted
 			agg[i].GenSeconds += s.GenSeconds
