@@ -494,6 +494,127 @@ func expWorkers(cfg benchConfig) error {
 	return nil
 }
 
+// dncSchedEntry is one row of BENCH_dnc.json: a divide-and-conquer run
+// at one group count.
+type dncSchedEntry struct {
+	Groups        int     `json:"groups"` // 0 = sequential driver (baseline)
+	NsPerOp       int64   `json:"ns_per_op"`
+	Speedup       float64 `json:"speedup_vs_seq"`
+	EFMs          int     `json:"efms"`
+	Candidates    int64   `json:"candidates"`
+	PeakNodeBytes int64   `json:"peak_node_bytes"`
+	PeakConcBytes int64   `json:"peak_concurrent_bytes"`
+	Enqueued      int64   `json:"enqueued"`
+	Steals        int64   `json:"steals"`
+	Resplits      int64   `json:"resplits"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	MaxActive     int     `json:"max_active"`
+	Fingerprint   string  `json:"fingerprint"`
+}
+
+type dncSchedReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Network    string          `json:"network"`
+	Qsub       int             `json:"qsub"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []dncSchedEntry `json:"results"`
+}
+
+// expDncSched measures the divide-and-conquer subproblem scheduler:
+// the medium workload at qsub=3 (eight classes), swept across group
+// counts against the sequential driver. Inner parallelism is pinned to
+// one node and one worker so group concurrency is the only axis. Every
+// run's cross-driver fingerprint must equal the sequential baseline's —
+// the experiment fails otherwise.
+func expDncSched(cfg benchConfig) error {
+	var net *elmocomp.Network
+	var err error
+	if cfg.full {
+		net, err = elmocomp.Builtin("yeast1")
+	} else {
+		net, err = mediumWorkload()
+	}
+	if err != nil {
+		return err
+	}
+	report := dncSchedReport{
+		Benchmark:  "dnc-sched",
+		Network:    net.Name(),
+		Qsub:       3,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	sweep := append([]int{0}, cfg.groups...) // 0 = sequential baseline
+	run := func(groups int) (*elmocomp.Result, float64, error) {
+		start := time.Now()
+		res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{
+			Algorithm:        elmocomp.DivideAndConquer,
+			Qsub:             report.Qsub,
+			Nodes:            1,
+			Workers:          1,
+			GroupConcurrency: groups,
+			CommTimeout:      cfg.commTimeout,
+			Progress:         progress(cfg),
+		})
+		return res, time.Since(start).Seconds(), err
+	}
+	tb := stats.NewTable("divide-and-conquer scheduler scaling (qsub=3, 1 node x 1 worker per group)",
+		"groups", "wall (s)", "speedup", "EFMs", "candidates", "peak node mem", "peak concurrent mem", "steals", "fingerprint")
+	var base float64
+	var baseFP uint64
+	for _, g := range sweep {
+		res, elapsed, err := run(g)
+		if err != nil {
+			return fmt.Errorf("groups=%d: %w", g, err)
+		}
+		if base == 0 {
+			base = elapsed
+			baseFP = res.Fingerprint()
+		} else if res.Fingerprint() != baseFP {
+			return fmt.Errorf("groups=%d: fingerprint %016x differs from sequential baseline %016x",
+				g, res.Fingerprint(), baseFP)
+		}
+		entry := dncSchedEntry{
+			Groups:        g,
+			NsPerOp:       int64(elapsed * 1e9),
+			Speedup:       base / elapsed,
+			EFMs:          res.Len(),
+			Candidates:    res.CandidateModes,
+			PeakNodeBytes: res.PeakNodeBytes,
+			PeakConcBytes: res.PeakConcurrentBytes,
+			Fingerprint:   fmt.Sprintf("%016x", res.Fingerprint()),
+		}
+		if s := res.Scheduler; s != nil {
+			entry.Enqueued, entry.Steals, entry.Resplits = s.Enqueued, s.Steals, s.Resplits
+			entry.MaxQueueDepth, entry.MaxActive = s.MaxQueueDepth, s.MaxActive
+		}
+		report.Results = append(report.Results, entry)
+		label := fmt.Sprintf("%d", g)
+		if g == 0 {
+			label = "seq"
+		}
+		tb.AddRow(label, stats.Seconds(elapsed), fmt.Sprintf("%.2fx", entry.Speedup),
+			stats.Count(int64(entry.EFMs)), stats.Count(entry.Candidates),
+			stats.Bytes(entry.PeakNodeBytes), stats.Bytes(entry.PeakConcBytes),
+			stats.Count(entry.Steals), entry.Fingerprint)
+	}
+	tb.AddNote("fingerprints are cross-driver canonical-support hashes: identical by construction")
+	tb.AddNote(fmt.Sprintf("GOMAXPROCS=%d — group speedup needs physical cores; on 1 CPU the rows tie", report.GoMaxProcs))
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.dncJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.dncJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.dncJSONPath)
+	}
+	return nil
+}
+
 // hybridRowEntry is one iteration of one variant in BENCH_hybrid.json.
 type hybridRowEntry struct {
 	Row         int     `json:"row"`

@@ -31,11 +31,13 @@ type benchConfig struct {
 	full           bool
 	nodes          []int
 	workers        []int
+	groups         []int
 	budget         int
 	commTimeout    time.Duration
 	verbose        bool
 	jsonPath       string
 	hybridJSONPath string
+	dncJSONPath    string
 }
 
 type experiment struct {
@@ -55,6 +57,7 @@ var experiments = []experiment{
 	{"memory", "section IV-B: per-node memory, Algorithm 2 vs Algorithm 3", expMemory},
 	{"workers", "shared-memory worker scaling of candidate generation (writes BENCH_efm.json)", expWorkers},
 	{"hybrid", "hybrid tree-prefilter vs rank-only elementarity on a pointed problem (writes BENCH_hybrid.json)", expHybrid},
+	{"dnc-sched", "divide-and-conquer subproblem scheduler across group counts (writes BENCH_dnc.json)", expDncSched},
 }
 
 func main() {
@@ -66,6 +69,8 @@ func main() {
 		workers = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
 		jsonOut    = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
 		hybridJSON = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
+		dncJSON    = flag.String("dnc-json", "BENCH_dnc.json", "machine-readable output file for the dnc-sched experiment")
+		groups     = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
 		budget     = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		commTO     = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -85,7 +90,7 @@ func main() {
 		fatal(err)
 	}
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
-		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON}
+		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
@@ -99,6 +104,13 @@ func main() {
 			fatal(fmt.Errorf("bad -workers entry %q", part))
 		}
 		cfg.workers = append(cfg.workers, n)
+	}
+	for _, part := range strings.Split(*groups, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -groups entry %q", part))
+		}
+		cfg.groups = append(cfg.groups, n)
 	}
 
 	ran := 0

@@ -29,6 +29,7 @@ func main() {
 		nodes     = flag.Int("nodes", 1, "simulated compute nodes (parallel, dnc)")
 		workers   = flag.Int("workers", 0, "shared-memory workers per engine/node (0 = all cores)")
 		qsub      = flag.Int("qsub", 2, "divide-and-conquer partition size")
+		groups    = flag.Int("groups", 0, "dnc subproblem scheduler: node groups pulling classes concurrently (0 = sequential)")
 		partition = flag.String("partition", "", "comma-separated partition reaction names (dnc)")
 		test      = flag.String("test", "rank", "elementarity test: rank | tree")
 		split     = flag.Bool("split", false, "split every reversible reaction so the cone is pointed (implied by -test tree)")
@@ -60,6 +61,7 @@ func main() {
 		Nodes:                  *nodes,
 		Workers:                *workers,
 		Qsub:                   *qsub,
+		GroupConcurrency:       *groups,
 		OverTCP:                *tcp,
 		CommTimeout:            *commTO,
 		KeepDuplicateReactions: *keepDup,
@@ -105,6 +107,10 @@ func main() {
 	fmt.Printf("elementary flux modes: %s\n", stats.Count(int64(res.Len())))
 	fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
 	fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
+	if res.Scheduler != nil {
+		fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",
+			stats.Bytes(res.PeakConcurrentBytes), res.Scheduler.MaxActive)
+	}
 	if res.CommBytes > 0 {
 		fmt.Printf("communication: %s payload (%s on the wire) in %s messages\n",
 			stats.Bytes(res.CommBytes), stats.Bytes(res.CommWireBytes), stats.Count(res.CommMessages))
@@ -178,6 +184,10 @@ func printStats(res *elmocomp.Result) {
 				s.Seconds.Communicate, s.Seconds.Merge, note)
 		}
 		tb.Render(os.Stdout)
+	}
+	if s := res.Scheduler; s != nil {
+		fmt.Printf("scheduler: %d enqueued, %d steals, %d re-splits, %d unresolved; peak queue %d, peak active groups %d\n",
+			s.Enqueued, s.Steals, s.Resplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
 	}
 	p := res.Phases
 	fmt.Printf("phases: gen=%s rank=%s comm=%s merge=%s\n",

@@ -158,6 +158,13 @@ type Config struct {
 	Workers int
 	// Qsub is the divide-and-conquer partition size (default 2).
 	Qsub int
+	// GroupConcurrency selects the divide-and-conquer subproblem
+	// scheduler: the number of node groups concurrently pulling classes
+	// from a largest-estimated-first work queue. 0 runs subproblems one
+	// at a time (the sequential driver); >= 1 runs that many groups.
+	// Results are byte-identical at every setting. DivideAndConquer
+	// only; ignored by the other drivers.
+	GroupConcurrency int
 	// Partition names the partition reactions explicitly (overrides
 	// Qsub). Reactions must survive network reduction.
 	Partition []string
@@ -247,6 +254,22 @@ type SubproblemStat struct {
 	Seconds    PhaseSeconds
 }
 
+// SchedulerStats summarizes a divide-and-conquer scheduler run
+// (Config.GroupConcurrency >= 1). Counter totals are deterministic for
+// a given problem and budget; the queue/active peaks are scheduling
+// diagnostics.
+type SchedulerStats struct {
+	// Enqueued counts work items pushed onto the class queue (initial
+	// classes plus two per re-split); Steals counts items pulled by a
+	// node group; Resplits counts budget overflows converted into new
+	// queue items; Unresolved counts classes abandoned at the re-split
+	// depth limit.
+	Enqueued, Steals, Resplits, Unresolved int64
+	// MaxQueueDepth and MaxActive are the observed queue-length and
+	// concurrently-enumerating-group peaks.
+	MaxQueueDepth, MaxActive int
+}
+
 // Result holds the computed elementary flux modes and the run's
 // statistics. Supports are stored compactly; accessors expand on demand.
 type Result struct {
@@ -271,6 +294,22 @@ type Result struct {
 	// PeakNodeBytes is the largest mode-matrix payload held by any
 	// single node at any time.
 	PeakNodeBytes int64
+	// Scheduler holds the divide-and-conquer scheduler's counters
+	// (Config.GroupConcurrency >= 1 only; nil otherwise).
+	Scheduler *SchedulerStats
+	// PeakConcurrentBytes is the largest mode-matrix payload resident
+	// across all concurrently enumerating node groups at any instant
+	// (scheduler runs only; 0 otherwise).
+	PeakConcurrentBytes int64
+}
+
+// Fingerprint folds the result's canonical support list into a 64-bit
+// hash that is comparable ACROSS drivers: serial, parallel and
+// divide-and-conquer runs of the same network and reduction settings
+// must produce the same fingerprint. The differential test harness
+// keys on this.
+func (r *Result) Fingerprint() uint64 {
+	return core.SupportsFingerprint(r.supports)
 }
 
 // Len returns the number of elementary flux modes.
@@ -543,8 +582,9 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		res.Phases = PhaseSeconds{mp.GenCand, mp.RankTest, mp.Communicate, mp.Merge}
 	case DivideAndConquer:
 		dopts := dnc.Options{
-			Parallel: parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout},
-			Qsub:     cfg.Qsub,
+			Parallel:         parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout},
+			Qsub:             cfg.Qsub,
+			GroupConcurrency: cfg.GroupConcurrency,
 		}
 		if cfg.OverTCP {
 			dopts.Parallel.Transport = parallel.TCP
@@ -571,6 +611,17 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		res.supports = run.Supports
 		res.CandidateModes = run.TotalPairs()
 		res.PeakNodeBytes = run.PeakNodeBytes()
+		res.PeakConcurrentBytes = run.PeakConcurrentBytes
+		if run.Sched != nil {
+			res.Scheduler = &SchedulerStats{
+				Enqueued:      run.Sched.Enqueued,
+				Steals:        run.Sched.Steals,
+				Resplits:      run.Sched.Resplits,
+				Unresolved:    run.Sched.Unresolved,
+				MaxQueueDepth: run.Sched.MaxQueueDepth,
+				MaxActive:     run.Sched.MaxActive,
+			}
+		}
 		res.Subproblems = subStats(run, red)
 		for _, s := range res.Subproblems {
 			res.Phases.GenerateCandidates += s.Seconds.GenerateCandidates

@@ -50,35 +50,53 @@ func (e *AbortError) Unwrap() error { return e.Cause }
 // Is makes errors.Is(err, ErrAborted) hold for every AbortError.
 func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
-// abortState is the group-wide abort latch shared by every communicator
-// of one group. The first trip wins; the cause is stored before the
-// channel closes, so any reader that observes done() closed also
-// observes the cause (channel-close ordering).
-type abortState struct {
+// Latch is a first-trip-wins abort latch: the concurrency primitive
+// behind the group-wide fail-fast semantics. Every communicator group
+// shares one, and higher-level schedulers (the divide-and-conquer
+// subproblem scheduler) reuse the same semantics to cancel sibling
+// work units when one fails. The first Trip wins; the cause is stored
+// before the channel closes, so any reader that observes Done() closed
+// also observes the cause (channel-close ordering). The zero value is
+// not usable; construct with NewLatch.
+type Latch struct {
 	once  sync.Once
 	ch    chan struct{}
 	cause error
 }
 
-func newAbortState() *abortState {
-	return &abortState{ch: make(chan struct{})}
+// NewLatch returns a fresh, untripped latch.
+func NewLatch() *Latch {
+	return &Latch{ch: make(chan struct{})}
 }
 
-func (a *abortState) trip(cause error) {
+// Trip latches the given cause and releases every Done() waiter. Later
+// calls are no-ops; the first cause wins. Safe from any goroutine.
+func (a *Latch) Trip(cause error) {
 	a.once.Do(func() {
 		a.cause = cause
 		close(a.ch)
 	})
 }
 
-func (a *abortState) done() <-chan struct{} { return a.ch }
+// Done returns a channel closed once the latch has tripped.
+func (a *Latch) Done() <-chan struct{} { return a.ch }
 
-// err returns nil while the group is live and the AbortError once
-// tripped.
-func (a *abortState) err() error {
+// Err returns nil while the latch is untripped and an *AbortError
+// wrapping the trip cause afterwards.
+func (a *Latch) Err() error {
 	select {
 	case <-a.ch:
 		return &AbortError{Cause: a.cause}
+	default:
+		return nil
+	}
+}
+
+// Cause returns the first Trip's cause, or nil while untripped.
+func (a *Latch) Cause() error {
+	select {
+	case <-a.ch:
+		return a.cause
 	default:
 		return nil
 	}

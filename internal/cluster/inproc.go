@@ -22,7 +22,7 @@ type inprocGroup struct {
 	boxes [][]chan []byte // boxes[to][from]
 	done  chan struct{}
 	once  sync.Once
-	abort *abortState
+	abort *Latch
 	opts  Options
 }
 
@@ -47,7 +47,7 @@ func NewInProcOpts(n int, opts Options) []Comm {
 	if opts.Buffered <= 0 {
 		opts.Buffered = 16
 	}
-	g := &inprocGroup{size: n, done: make(chan struct{}), abort: newAbortState(), opts: opts}
+	g := &inprocGroup{size: n, done: make(chan struct{}), abort: NewLatch(), opts: opts}
 	g.boxes = make([][]chan []byte, n)
 	for to := 0; to < n; to++ {
 		g.boxes[to] = make([]chan []byte, n)
@@ -74,15 +74,15 @@ func (c *inprocComm) Send(to int, msg []byte) error {
 	if to == c.rank {
 		return errors.New("cluster: self-send not supported")
 	}
-	if err := c.group.abort.err(); err != nil {
+	if err := c.group.abort.Err(); err != nil {
 		return err
 	}
 	select {
 	case c.group.boxes[to][c.rank] <- msg:
 		c.account(len(msg), len(msg))
 		return nil
-	case <-c.group.abort.done():
-		return c.group.abort.err()
+	case <-c.group.abort.Done():
+		return c.group.abort.Err()
 	case <-c.group.done:
 		return ErrClosed
 	}
@@ -95,14 +95,14 @@ func (c *inprocComm) Recv(from int) ([]byte, error) {
 	if from == c.rank {
 		return nil, errors.New("cluster: self-recv not supported")
 	}
-	if err := c.group.abort.err(); err != nil {
+	if err := c.group.abort.Err(); err != nil {
 		return nil, err
 	}
 	select {
 	case msg := <-c.group.boxes[c.rank][from]:
 		return msg, nil
-	case <-c.group.abort.done():
-		return nil, c.group.abort.err()
+	case <-c.group.abort.Done():
+		return nil, c.group.abort.Err()
 	case <-c.group.done:
 		return nil, ErrClosed
 	}
@@ -114,7 +114,7 @@ func (c *inprocComm) Allgather(local []byte) ([][]byte, error) {
 
 func (c *inprocComm) Barrier() error { return barrier(c) }
 
-func (c *inprocComm) Abort(cause error) { c.group.abort.trip(cause) }
+func (c *inprocComm) Abort(cause error) { c.group.abort.Trip(cause) }
 
 func (c *inprocComm) Close() error {
 	c.group.once.Do(func() { close(c.group.done) })

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestLatchFirstTripWins(t *testing.T) {
+	l := NewLatch()
+	if l.Err() != nil || l.Cause() != nil {
+		t.Fatal("fresh latch already tripped")
+	}
+	select {
+	case <-l.Done():
+		t.Fatal("fresh latch Done() closed")
+	default:
+	}
+	first := errors.New("first")
+	l.Trip(first)
+	l.Trip(errors.New("second"))
+	if l.Cause() != first {
+		t.Fatalf("cause %v, want the first trip", l.Cause())
+	}
+	err := l.Err()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("latch error %v does not match ErrAborted", err)
+	}
+	if !errors.Is(err, first) {
+		t.Fatalf("latch error %v does not wrap the cause", err)
+	}
+	select {
+	case <-l.Done():
+	default:
+		t.Fatal("tripped latch Done() still open")
+	}
+}
+
+func TestLatchConcurrentTrip(t *testing.T) {
+	// Racing trips must agree on one cause, and every waiter observing
+	// Done() closed must observe that cause (channel-close ordering).
+	l := NewLatch()
+	causes := make([]error, 8)
+	for i := range causes {
+		causes[i] = errors.New("cause")
+	}
+	var wg sync.WaitGroup
+	for i := range causes {
+		wg.Add(1)
+		go func(e error) {
+			defer wg.Done()
+			l.Trip(e)
+		}(causes[i])
+	}
+	seen := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			<-l.Done()
+			seen <- l.Cause()
+		}()
+	}
+	wg.Wait()
+	want := l.Cause()
+	if want == nil {
+		t.Fatal("no cause after trips")
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-seen; got != want {
+			t.Fatalf("waiter saw cause %v, latch holds %v", got, want)
+		}
+	}
+}

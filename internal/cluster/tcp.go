@@ -28,7 +28,7 @@ type tcpComm struct {
 	counters
 	rank, size int
 	opts       Options
-	abort      *abortState
+	abort      *Latch
 	peers      []net.Conn // peers[r] carries traffic to/from rank r (nil for self)
 	inbox      []chan []byte
 	sendMu     []sync.Mutex
@@ -55,7 +55,7 @@ func NewTCPGroupOpts(n int, opts Options) ([]Comm, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive group size")
 	}
-	ab := newAbortState()
+	ab := NewLatch()
 	listeners := make([]net.Listener, n)
 	comms := make([]*tcpComm, n)
 	closeListeners := sync.OnceFunc(func() {
@@ -204,7 +204,7 @@ func (c *tcpComm) pump(from int) {
 		case c.inbox[from] <- msg:
 		case <-c.closed:
 			return
-		case <-c.abort.done():
+		case <-c.abort.Done():
 			return
 		}
 	}
@@ -227,7 +227,7 @@ func (c *tcpComm) Send(to int, msg []byte) error {
 	if to < 0 || to >= c.size || to == c.rank {
 		return fmt.Errorf("cluster: send to invalid rank %d", to)
 	}
-	if err := c.abort.err(); err != nil {
+	if err := c.abort.Err(); err != nil {
 		return err
 	}
 	c.sendMu[to].Lock()
@@ -251,8 +251,8 @@ func (c *tcpComm) Send(to int, msg []byte) error {
 		if wrote == 0 && attempt < c.opts.SendRetries && isTransient(err) {
 			select {
 			case <-time.After(backoff):
-			case <-c.abort.done():
-				return c.abort.err()
+			case <-c.abort.Done():
+				return c.abort.Err()
 			}
 			backoff *= 2
 			continue
@@ -267,7 +267,7 @@ func (c *tcpComm) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= c.size || from == c.rank {
 		return nil, fmt.Errorf("cluster: recv from invalid rank %d", from)
 	}
-	if err := c.abort.err(); err != nil {
+	if err := c.abort.Err(); err != nil {
 		return nil, err
 	}
 	select {
@@ -276,8 +276,8 @@ func (c *tcpComm) Recv(from int) ([]byte, error) {
 			return nil, ErrClosed
 		}
 		return msg, nil
-	case <-c.abort.done():
-		return nil, c.abort.err()
+	case <-c.abort.Done():
+		return nil, c.abort.Err()
 	case <-c.closed:
 		return nil, ErrClosed
 	}
@@ -289,7 +289,7 @@ func (c *tcpComm) Allgather(local []byte) ([][]byte, error) {
 
 func (c *tcpComm) Barrier() error { return barrier(c) }
 
-func (c *tcpComm) Abort(cause error) { c.abort.trip(cause) }
+func (c *tcpComm) Abort(cause error) { c.abort.Trip(cause) }
 
 // Close tears down the endpoint and joins its pump goroutines: closing
 // the connections unblocks any pump stuck in a read, and the closed

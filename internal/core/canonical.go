@@ -47,3 +47,35 @@ func CanonicalSupports(res *Result) []bitset.Set {
 	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
 	return out
 }
+
+// SupportsFingerprint folds a canonical support list into a 64-bit
+// FNV-1a hash: length, then every set's width and words in order. Two
+// drivers that computed the same EFM set in the same canonical order —
+// serial, worker-pool, cluster and divide-and-conquer runs all sort
+// supports with the same total comparator — hash identically; any
+// difference in membership, order or width flips the fingerprint with
+// overwhelming probability. This is the cross-driver analogue of
+// ModeSet.Fingerprint, which is only comparable between replicas of one
+// driver (it hashes permuted-space numeric payloads too).
+func SupportsFingerprint(supports []bitset.Set) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(supports)))
+	for _, b := range supports {
+		mix(uint64(b.Len()))
+		for w := 0; w < b.Words(); w++ {
+			mix(b.Word(w))
+		}
+	}
+	return h
+}

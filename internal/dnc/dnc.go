@@ -30,6 +30,7 @@ import (
 	"elmocomp/internal/nullspace"
 	"elmocomp/internal/parallel"
 	"elmocomp/internal/ratmat"
+	"elmocomp/internal/stats"
 )
 
 // Options configure a divide-and-conquer run.
@@ -51,7 +52,23 @@ type Options struct {
 	Qsub int
 	// MaxDepth bounds adaptive re-splitting recursion (default 3).
 	MaxDepth int
-	// Progress, when set, is called as each subproblem finishes.
+	// GroupConcurrency selects the subproblem scheduler: the number of
+	// node groups concurrently pulling classes from a
+	// largest-estimated-first work queue (the paper's farming of the
+	// 2^qsub independent subproblems across groups of compute nodes).
+	// 0 runs the sequential driver (one class at a time, re-splits
+	// recursed inline); >= 1 runs the scheduler with that many groups.
+	// Result.Supports and the subproblem tree are byte-identical at
+	// every setting — only wall-clock, Progress arrival order and the
+	// scheduler diagnostics change.
+	GroupConcurrency int
+	// Progress, when set, is called as each subproblem finishes
+	// (enumerated or left unresolved; infeasible skipped classes are
+	// silent). Under GroupConcurrency > 1 subproblems finish on
+	// concurrent group goroutines: invocations are serialized by an
+	// internal mutex — the callback is never entered concurrently with
+	// itself — but the arrival ORDER is scheduling-dependent. The
+	// callback must not block for long: it stalls the completing group.
 	Progress func(sub *Subproblem)
 }
 
@@ -107,6 +124,18 @@ type Result struct {
 	Subproblems []*Subproblem
 	// Supports is the union of all subproblem EFM supports, sorted.
 	Supports []bitset.Set
+	// Sched holds the scheduler's counters (GroupConcurrency >= 1
+	// runs only; nil on the sequential driver). Counter totals are
+	// deterministic; queue-depth/active peaks and class completion
+	// order are scheduling diagnostics.
+	Sched *stats.SchedStats
+	// PeakConcurrentBytes is the largest mode-set payload resident
+	// across ALL concurrently enumerating node groups at any instant
+	// (scheduler runs only; 0 on the sequential driver, where it would
+	// equal PeakNodeBytes times the node count of the largest
+	// iteration). Together with PeakNodeBytes it bounds the memory a
+	// GroupConcurrency-wide deployment needs.
+	PeakConcurrentBytes int64
 }
 
 // Complete reports whether every class was fully enumerated (no
@@ -184,6 +213,10 @@ func Run(N *ratmat.Matrix, rev []bool, opts Options) (*Result, error) {
 		}
 	}
 
+	if opts.GroupConcurrency >= 1 {
+		return runScheduled(N, rev, partition, opts)
+	}
+
 	res := &Result{Partition: partition}
 	for id := uint64(0); id < 1<<uint(len(partition)); id++ {
 		sub, err := solve(N, rev, partition, id, 0, opts)
@@ -191,19 +224,30 @@ func Run(N *ratmat.Matrix, rev []bool, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("dnc: subset %d: %w", id, err)
 		}
 		res.Subproblems = append(res.Subproblems, sub)
-		var collect func(s *Subproblem)
-		collect = func(s *Subproblem) {
-			res.Supports = append(res.Supports, s.Supports...)
-			for _, c := range s.Children {
-				collect(c)
-			}
+	}
+	collectSupports(res)
+	return res, nil
+}
+
+// collectSupports walks the finished subproblem tree in class-ID order
+// and assembles the sorted union. Classes are disjoint, so the supports
+// are pairwise distinct and the total comparator makes the sorted order
+// independent of completion order — the determinism anchor both the
+// sequential driver and the scheduler share.
+func collectSupports(res *Result) {
+	var collect func(s *Subproblem)
+	collect = func(s *Subproblem) {
+		res.Supports = append(res.Supports, s.Supports...)
+		for _, c := range s.Children {
+			collect(c)
 		}
-		collect(sub)
+	}
+	for _, s := range res.Subproblems {
+		collect(s)
 	}
 	sort.Slice(res.Supports, func(a, b int) bool {
 		return res.Supports[a].Compare(res.Supports[b]) < 0
 	})
-	return res, nil
 }
 
 // AutoPartition picks the last qsub pivot rows of the full problem's
@@ -226,10 +270,27 @@ func AutoPartition(N *ratmat.Matrix, rev []bool, qsub int) ([]int, error) {
 	return cols, nil
 }
 
-// solve handles one zero/non-zero class, re-splitting on budget errors.
-func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, opts Options) (*Subproblem, error) {
-	sub := &Subproblem{ID: id, Partition: append([]int(nil), partition...), Depth: depth}
+// prepared holds a class's prepared enumeration inputs: the reduced
+// class stoichiometry's nullspace problem plus the column maps needed
+// to fold results back into the full input space, and the scheduling
+// estimate.
+type prepared struct {
+	p        *nullspace.Problem
+	keep     []int // class columns as input-column indices
+	nzfLocal []int // must-be-non-zero reactions as class-column indices
+	// est is the kernel's pair-count estimate used by the scheduler's
+	// largest-estimated-first queue: the first iteration's pos·neg pair
+	// count over the initial kernel columns, scaled by the number of
+	// iterations the class runs (Proposition 1's early stop included).
+	// A scheduling heuristic only — it never influences results.
+	est int64
+}
 
+// prepare builds the class stoichiometry for the (partition, id) class
+// and prepares its nullspace problem. It returns nil when the class is
+// infeasible (trivial kernel: some must-be-non-zero reaction cannot
+// carry flux), i.e. the subproblem is Skipped.
+func prepare(N *ratmat.Matrix, rev []bool, partition []int, id uint64, tol float64) *prepared {
 	var zf, nzf []int
 	for i, col := range partition {
 		if id&(1<<uint(i)) != 0 {
@@ -271,14 +332,68 @@ func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, 
 	p, err := nullspace.New(Ni, revi, nullspace.Heuristics{ForceLast: nzfLocal})
 	if err != nil {
 		// A trivial kernel means the class admits no flux at all.
+		return nil
+	}
+	pr := &prepared{p: p, keep: keep, nzfLocal: nzfLocal}
+	pr.est = estimatePairs(p, len(nzfLocal), tol)
+	return pr
+}
+
+// estimatePairs is the scheduler's size estimate: the first iteration's
+// pos·neg candidate count over the initial kernel columns, times the
+// iteration count. Cheap (one kernel-row sign sweep), deterministic,
+// and correlated with enumeration cost — larger classes sort first so
+// the long pole starts early instead of serializing at the tail.
+func estimatePairs(p *nullspace.Problem, nzf int, tol float64) int64 {
+	if tol <= 0 {
+		tol = linalg.DefaultTol
+	}
+	iters := (p.Q() - nzf) - p.D
+	if iters <= 0 {
+		return 0
+	}
+	var pos, neg int64
+	for j := 0; j < p.D; j++ {
+		v := p.Kernel[p.D][j]
+		switch {
+		case v > tol:
+			pos++
+		case v < -tol:
+			neg++
+		}
+	}
+	return (pos*neg + 1) * int64(iters)
+}
+
+// enumerate runs the inner combinatorial parallel algorithm on a
+// prepared class and fills the subproblem's result fields. A blown mode
+// budget surfaces as an error matching core.ErrBudget (the caller's
+// re-split signal); every other failure is a fault and propagates
+// unchanged.
+func enumerate(sub *Subproblem, pr *prepared, copts parallel.Options, fullCols int) error {
+	copts.Core.LastRow = pr.p.Q() - len(pr.nzfLocal)
+	run, err := parallel.Run(pr.p, copts)
+	if err != nil {
+		return err
+	}
+	sub.Pairs = run.TotalPairs()
+	sub.PeakNodeBytes = run.PeakNodeBytes
+	sub.Phases = run.MaxPhases()
+	sub.Supports = extract(run.Result, pr.p, pr.keep, pr.nzfLocal, fullCols)
+	return nil
+}
+
+// solve handles one zero/non-zero class sequentially, re-splitting on
+// budget errors (the GroupConcurrency == 0 driver).
+func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, opts Options) (*Subproblem, error) {
+	sub := &Subproblem{ID: id, Partition: append([]int(nil), partition...), Depth: depth}
+
+	pr := prepare(N, rev, partition, id, opts.Parallel.Core.Tol)
+	if pr == nil {
 		sub.Skipped = true
 		return sub, nil
 	}
-
-	copts := opts.Parallel
-	copts.Core.LastRow = p.Q() - len(nzfLocal)
-	run, err := parallel.Run(p, copts)
-	if err != nil {
+	if err := enumerate(sub, pr, opts.Parallel, N.Cols()); err != nil {
 		// Only a blown mode budget triggers adaptive re-splitting; any
 		// other failure (a node crash, a communication timeout, an
 		// aborted group) is a fault, not a size signal, and propagates.
@@ -297,10 +412,6 @@ func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, 
 		}
 		return nil, err
 	}
-	sub.Pairs = run.TotalPairs()
-	sub.PeakNodeBytes = run.PeakNodeBytes
-	sub.Phases = run.MaxPhases()
-	sub.Supports = extract(run.Result, p, keep, nzfLocal, N.Cols())
 	if opts.Progress != nil {
 		opts.Progress(sub)
 	}

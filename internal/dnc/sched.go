@@ -1,0 +1,339 @@
+// Subproblem scheduler: the GroupConcurrency >= 1 driver of Algorithm 3.
+//
+// Instead of enumerating the 2^qsub classes one after another, a bounded
+// pool of node groups pulls classes from a shared work queue ordered
+// largest-estimated-first (the kernel's pair-count estimate), runs each
+// through the inner parallel algorithm, and converts budget-triggered
+// re-splits into new queue items instead of recursing inline. The result
+// is byte-identical to the sequential driver at every concurrency level:
+//
+//   - The subproblem tree is indexed by class, not by completion order.
+//     Root classes are pre-created in ID order before any group starts;
+//     a re-split's two children are appended in bit order (zero-flux
+//     child first) by the single group that owns the parent.
+//   - Classes are disjoint, so their supports are pairwise distinct, and
+//     collectSupports sorts the union with a total comparator — the
+//     final Supports order cannot depend on which group finished first.
+//
+// Faults propagate through a group-scoped abort latch (the cluster
+// substrate's first-trip-wins latch): the first genuine failure trips
+// it, every in-flight enumeration observes the trip through its Cancel
+// channel, and idle groups are woken to exit. The latch's cause — not
+// the ErrAborted/ErrCanceled cascade it triggers — is the run's error.
+package dnc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"elmocomp/internal/cluster"
+	"elmocomp/internal/core"
+	"elmocomp/internal/ratmat"
+	"elmocomp/internal/stats"
+)
+
+// schedItem is one queued unit of work: a subproblem shell waiting to be
+// enumerated, with its prepared inputs and priority.
+type schedItem struct {
+	sub  *Subproblem
+	prep *prepared
+	seq  int // enqueue sequence; breaks estimate ties deterministically
+}
+
+// itemQueue is a max-heap on the pair-count estimate, enqueue order
+// breaking ties so the pop order is a pure function of the enqueued set.
+type itemQueue []*schedItem
+
+func (q itemQueue) Len() int { return len(q) }
+func (q itemQueue) Less(a, b int) bool {
+	if q[a].prep.est != q[b].prep.est {
+		return q[a].prep.est > q[b].prep.est
+	}
+	return q[a].seq < q[b].seq
+}
+func (q itemQueue) Swap(a, b int)      { q[a], q[b] = q[b], q[a] }
+func (q *itemQueue) Push(x interface{}) { *q = append(*q, x.(*schedItem)) }
+func (q *itemQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// scheduler carries the shared state of one GroupConcurrency run.
+type scheduler struct {
+	N      *ratmat.Matrix
+	rev    []bool
+	opts   Options
+	groups int
+
+	latch *cluster.Latch
+	rec   *stats.SchedRecorder
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   itemQueue
+	pending int // items enqueued or being worked; 0 + empty queue = done
+	seq     int
+
+	// progressMu serializes the user's Progress callback across groups.
+	progressMu sync.Mutex
+
+	// Cross-group live memory accounting, fed by parallel.Options.MemGauge:
+	// groupBytes[g][rank] is group g's node rank's resident payload; the
+	// running total's high-water mark is Result.PeakConcurrentBytes.
+	memMu      sync.Mutex
+	groupBytes [][]int64
+	totalBytes int64
+	peakBytes  int64
+}
+
+// runScheduled is the scheduler entry point, dispatched from Run when
+// GroupConcurrency >= 1.
+func runScheduled(N *ratmat.Matrix, rev []bool, partition []int, opts Options) (*Result, error) {
+	s := &scheduler{
+		N:      N,
+		rev:    rev,
+		opts:   opts,
+		groups: opts.GroupConcurrency,
+		latch:  cluster.NewLatch(),
+		rec:    stats.NewSchedRecorder(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	nodes := opts.Parallel.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	s.groupBytes = make([][]int64, s.groups)
+	for g := range s.groupBytes {
+		s.groupBytes[g] = make([]int64, nodes)
+	}
+
+	// Create every root class shell in ID order up front: the tree's
+	// shape is fixed before any group runs, so Result.Subproblems cannot
+	// depend on scheduling.
+	res := &Result{Partition: partition}
+	var items []*schedItem
+	for id := uint64(0); id < 1<<uint(len(partition)); id++ {
+		sub := &Subproblem{ID: id, Partition: append([]int(nil), partition...)}
+		res.Subproblems = append(res.Subproblems, sub)
+		pr := prepare(N, rev, partition, id, opts.Parallel.Core.Tol)
+		if pr == nil {
+			sub.Skipped = true
+			continue
+		}
+		items = append(items, &schedItem{sub: sub, prep: pr})
+	}
+	s.mu.Lock()
+	for _, it := range items {
+		s.push(it)
+	}
+	s.mu.Unlock()
+
+	// Watchers: an external cancel trips the latch; a latch trip wakes
+	// every idle group. Both exit on stop.
+	stop := make(chan struct{})
+	var watchers sync.WaitGroup
+	if opts.Parallel.Cancel != nil {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			select {
+			case <-opts.Parallel.Cancel:
+				s.latch.Trip(cluster.ErrCanceled)
+			case <-stop:
+			}
+		}()
+	}
+	watchers.Add(1)
+	go func() {
+		defer watchers.Done()
+		select {
+		case <-s.latch.Done():
+			s.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < s.groups; g++ {
+		wg.Add(1)
+		go func(group int) {
+			defer wg.Done()
+			s.groupLoop(group)
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	watchers.Wait()
+
+	if cause := s.latch.Cause(); cause != nil {
+		return nil, cause
+	}
+	collectSupports(res)
+	res.Sched = s.rec.Snapshot()
+	res.PeakConcurrentBytes = s.peakBytes
+	return res, nil
+}
+
+// push enqueues an item. Caller holds s.mu.
+func (s *scheduler) push(it *schedItem) {
+	it.seq = s.seq
+	s.seq++
+	s.pending++
+	heap.Push(&s.queue, it)
+	s.rec.Enqueue(len(s.queue))
+	s.cond.Broadcast()
+}
+
+// groupLoop is one node group's life: steal the largest queued class,
+// enumerate it, repeat until the queue drains or the run aborts.
+func (s *scheduler) groupLoop(group int) {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && s.pending > 0 && s.latch.Cause() == nil {
+			s.cond.Wait()
+		}
+		if s.latch.Cause() != nil || len(s.queue) == 0 {
+			// Aborted, or drained: pending items all popped by peers.
+			s.mu.Unlock()
+			return
+		}
+		s.rec.Steal(len(s.queue))
+		it := heap.Pop(&s.queue).(*schedItem)
+		s.mu.Unlock()
+
+		s.runItem(group, it)
+
+		s.mu.Lock()
+		s.pending--
+		if s.pending == 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runItem enumerates one class within the given group. Budget overflows
+// below the depth limit re-enqueue two refined children; at the limit
+// the class is recorded unresolved. Any other failure trips the abort
+// latch with the root cause.
+func (s *scheduler) runItem(group int, it *schedItem) {
+	sub, pr := it.sub, it.prep
+	copts := s.opts.Parallel
+	copts.Cancel = s.latch.Done()
+	copts.MemGauge = s.memGauge(group)
+	s.rec.BeginClass()
+	start := time.Now()
+	err := enumerate(sub, pr, copts, s.N.Cols())
+	defer s.zeroMem(group)
+	if err == nil {
+		s.rec.EndClass(stats.SchedClass{
+			Label:   classLabel(sub),
+			Depth:   sub.Depth,
+			Seconds: time.Since(start).Seconds(),
+			Pairs:   sub.Pairs,
+			EFMs:    len(sub.Supports),
+		})
+		s.progress(sub)
+		return
+	}
+	s.rec.AbortClass()
+	if !errors.Is(err, core.ErrBudget) {
+		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
+		return
+	}
+	if sub.Depth >= s.opts.MaxDepth {
+		sub.Unresolved = true
+		s.rec.UnresolvedClass()
+		s.progress(sub)
+		return
+	}
+	if err := s.resplitEnqueue(sub); err != nil {
+		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
+	}
+}
+
+// resplitEnqueue converts a budget overflow into two new queue items:
+// the partition gains one reaction and the class refines into its
+// zero-flux and non-zero-flux children. The children are appended to
+// sub.Children in bit order by this single owning group, so the tree
+// shape matches the sequential driver's inline recursion exactly.
+func (s *scheduler) resplitEnqueue(sub *Subproblem) error {
+	extra, err := nextPartitionReaction(s.N, s.rev, sub.Partition)
+	if err != nil {
+		return err
+	}
+	s.rec.Resplit()
+	wider := append(append([]int(nil), sub.Partition...), extra)
+	var items []*schedItem
+	for bit := uint64(0); bit < 2; bit++ {
+		id := sub.ID | bit<<uint(len(sub.Partition))
+		child := &Subproblem{ID: id, Partition: append([]int(nil), wider...), Depth: sub.Depth + 1}
+		sub.Children = append(sub.Children, child)
+		pr := prepare(s.N, s.rev, wider, id, s.opts.Parallel.Core.Tol)
+		if pr == nil {
+			child.Skipped = true
+			continue
+		}
+		items = append(items, &schedItem{sub: child, prep: pr})
+	}
+	s.mu.Lock()
+	for _, it := range items {
+		s.push(it)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// progress invokes the user callback under the serialization mutex.
+func (s *scheduler) progress(sub *Subproblem) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	s.opts.Progress(sub)
+}
+
+// memGauge returns the MemGauge closure for one group: it maintains the
+// group's per-rank resident payloads and the cross-group running total's
+// high-water mark.
+func (s *scheduler) memGauge(group int) func(rank int, bytes int64) {
+	return func(rank int, bytes int64) {
+		s.memMu.Lock()
+		defer s.memMu.Unlock()
+		gb := s.groupBytes[group]
+		if rank < 0 || rank >= len(gb) {
+			return
+		}
+		s.totalBytes += bytes - gb[rank]
+		gb[rank] = bytes
+		if s.totalBytes > s.peakBytes {
+			s.peakBytes = s.totalBytes
+		}
+	}
+}
+
+// zeroMem clears a group's residency after its enumeration returns —
+// belt and braces for error paths where node goroutines never reported
+// their final zero.
+func (s *scheduler) zeroMem(group int) {
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	for rank, b := range s.groupBytes[group] {
+		s.totalBytes -= b
+		s.groupBytes[group][rank] = 0
+	}
+}
+
+// classLabel renders a class's scheduler label: the non-zero-flux bit
+// pattern over its partition, most-significant partition reaction first.
+func classLabel(sub *Subproblem) string {
+	return fmt.Sprintf("%0*b", len(sub.Partition), sub.ID)
+}

@@ -1,0 +1,284 @@
+package dnc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elmocomp/internal/cluster"
+	"elmocomp/internal/core"
+	"elmocomp/internal/parallel"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+// treeKey serializes a result's subproblem tree — IDs, partitions,
+// depths, flags and supports, in tree order — so two runs can be
+// compared for byte-identical structure, not just equal support unions.
+func treeKey(res *Result) string {
+	var b strings.Builder
+	var walk func(s *Subproblem)
+	walk = func(s *Subproblem) {
+		fmt.Fprintf(&b, "{id=%d part=%v depth=%d skip=%t unres=%t pairs=%d sup=[",
+			s.ID, s.Partition, s.Depth, s.Skipped, s.Unresolved, s.Pairs)
+		for _, sp := range s.Supports {
+			b.WriteString(sp.String())
+			b.WriteByte(',')
+		}
+		b.WriteString("] ch=[")
+		for _, c := range s.Children {
+			walk(c)
+		}
+		b.WriteString("]}")
+	}
+	fmt.Fprintf(&b, "part=%v|", res.Partition)
+	for _, s := range res.Subproblems {
+		walk(s)
+	}
+	return b.String()
+}
+
+// TestSchedulerMatchesSequential is the core determinism contract: at
+// every GroupConcurrency the scheduler's supports AND subproblem tree
+// must be byte-identical to the sequential driver's.
+func TestSchedulerMatchesSequential(t *testing.T) {
+	red := toyReduced(t)
+	for _, qsub := range []int{1, 2} {
+		seq, err := Run(red.N, red.Reversibilities(), Options{Qsub: qsub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTree := treeKey(seq)
+		wantSup := keysOf(seq.Supports)
+		for _, groups := range []int{1, 2, 4} {
+			res, err := Run(red.N, red.Reversibilities(), Options{Qsub: qsub, GroupConcurrency: groups})
+			if err != nil {
+				t.Fatalf("qsub=%d groups=%d: %v", qsub, groups, err)
+			}
+			if got := keysOf(res.Supports); got != wantSup {
+				t.Fatalf("qsub=%d groups=%d: supports differ\n got %s\nwant %s", qsub, groups, got, wantSup)
+			}
+			if got := treeKey(res); got != wantTree {
+				t.Fatalf("qsub=%d groups=%d: subproblem tree differs\n got %s\nwant %s", qsub, groups, got, wantTree)
+			}
+			if res.Sched == nil {
+				t.Fatalf("qsub=%d groups=%d: no scheduler stats", qsub, groups)
+			}
+		}
+	}
+}
+
+// TestSchedulerResplitMatchesSequential forces budget-triggered
+// re-splits and checks the scheduler's re-enqueued children rebuild the
+// exact tree the sequential driver's inline recursion produces.
+func TestSchedulerResplitMatchesSequential(t *testing.T) {
+	red := toyReduced(t)
+	opts := Options{
+		Qsub:     1,
+		MaxDepth: 6,
+		Parallel: parallel.Options{Core: core.Options{MaxModes: 4}},
+	}
+	seq, err := Run(red.N, red.Reversibilities(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTree := treeKey(seq)
+	for _, groups := range []int{1, 2, 4} {
+		o := opts
+		o.GroupConcurrency = groups
+		res, err := Run(red.N, red.Reversibilities(), o)
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		if got := treeKey(res); got != wantTree {
+			t.Fatalf("groups=%d: re-split tree differs\n got %s\nwant %s", groups, got, wantTree)
+		}
+		if res.Sched.Resplits == 0 {
+			t.Fatalf("groups=%d: no re-splits recorded (MaxModes=4 must overflow)", groups)
+		}
+	}
+}
+
+// TestSchedulerCounters sanity-checks the accounting on a clean run:
+// every non-skipped class is enqueued exactly once and stolen exactly
+// once, and nothing is left unresolved.
+func TestSchedulerCounters(t *testing.T) {
+	red := toyReduced(t)
+	res, err := Run(red.N, red.Reversibilities(), Options{Qsub: 2, GroupConcurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sched
+	var feasible int64
+	for _, sub := range res.Subproblems {
+		if !sub.Skipped {
+			feasible++
+		}
+	}
+	if s.Enqueued != feasible || s.Steals != feasible {
+		t.Fatalf("enqueued=%d steals=%d, want both %d (feasible classes)", s.Enqueued, s.Steals, feasible)
+	}
+	if s.Resplits != 0 || s.Unresolved != 0 {
+		t.Fatalf("unexpected resplits=%d unresolved=%d on an unbudgeted run", s.Resplits, s.Unresolved)
+	}
+	if len(s.Classes) != int(feasible) {
+		t.Fatalf("%d class records, want %d", len(s.Classes), feasible)
+	}
+	if s.MaxActive < 1 || s.MaxActive > 2 {
+		t.Fatalf("MaxActive %d out of [1,2]", s.MaxActive)
+	}
+	if res.PeakConcurrentBytes <= 0 {
+		t.Fatalf("PeakConcurrentBytes %d, want > 0", res.PeakConcurrentBytes)
+	}
+	if res.PeakConcurrentBytes < res.PeakNodeBytes() {
+		t.Fatalf("concurrent peak %d below single-node peak %d", res.PeakConcurrentBytes, res.PeakNodeBytes())
+	}
+}
+
+// TestSchedulerProgressSerialized verifies the documented Progress
+// contract: the callback is never entered concurrently with itself, and
+// every enumerated class arrives exactly once.
+func TestSchedulerProgressSerialized(t *testing.T) {
+	red := toyReduced(t)
+	var inside, overlaps int32
+	got := make(map[uint64]int)
+	res, err := Run(red.N, red.Reversibilities(), Options{
+		Qsub:             2,
+		GroupConcurrency: 4,
+		Progress: func(sub *Subproblem) {
+			if atomic.AddInt32(&inside, 1) != 1 {
+				atomic.AddInt32(&overlaps, 1)
+			}
+			got[sub.ID]++ // unsynchronized on purpose: -race flags broken serialization
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&inside, -1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlaps != 0 {
+		t.Fatalf("Progress entered concurrently %d times", overlaps)
+	}
+	for _, sub := range res.Subproblems {
+		want := 1
+		if sub.Skipped {
+			want = 0
+		}
+		if got[sub.ID] != want {
+			t.Fatalf("class %d: %d Progress calls, want %d", sub.ID, got[sub.ID], want)
+		}
+	}
+}
+
+// TestSchedulerFaultAborts: a node crash inside one group's enumeration
+// must trip the group-scoped abort latch and surface the root cause —
+// in bounded time, with the other groups drained, not wedged.
+func TestSchedulerFaultAborts(t *testing.T) {
+	red := toyReduced(t)
+	for _, groups := range []int{1, 3} {
+		_, err := runDncBounded(t, red, Options{
+			Qsub:             2,
+			GroupConcurrency: groups,
+			Parallel: parallel.Options{
+				Nodes:   2,
+				Timeout: 5 * time.Second,
+				Fault:   &cluster.FaultPlan{FailRank: 1, FailCollective: 1},
+			},
+		}, 30*time.Second)
+		if err == nil {
+			t.Fatalf("groups=%d: scheduler succeeded despite an injected node crash", groups)
+		}
+		if !errors.Is(err, cluster.ErrInjected) {
+			t.Fatalf("groups=%d: root cause lost through the scheduler: %v", groups, err)
+		}
+		if errors.Is(err, core.ErrBudget) {
+			t.Fatalf("groups=%d: fault misclassified as a budget overflow: %v", groups, err)
+		}
+	}
+}
+
+// TestSchedulerCancel: closing Options.Parallel.Cancel aborts the whole
+// scheduler run with cluster.ErrCanceled.
+func TestSchedulerCancel(t *testing.T) {
+	red := toyReduced(t)
+	cancel := make(chan struct{})
+	close(cancel) // cancelled before the run starts: every class must abort
+	_, err := runDncBounded(t, red, Options{
+		Qsub:             2,
+		GroupConcurrency: 2,
+		Parallel:         parallel.Options{Cancel: cancel},
+	}, 30*time.Second)
+	if err == nil {
+		t.Fatal("cancelled scheduler run succeeded")
+	}
+	if !errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("got %v, want cluster.ErrCanceled", err)
+	}
+}
+
+// TestSchedulerMultiNode: the scheduler composed with multi-node inner
+// enumerations still matches the serial EFM set.
+func TestSchedulerMultiNode(t *testing.T) {
+	red := toyReduced(t)
+	want := keysOf(serialSupports(t, red.N, red.Reversibilities()))
+	res, err := Run(red.N, red.Reversibilities(), Options{
+		Qsub:             2,
+		GroupConcurrency: 2,
+		Parallel:         parallel.Options{Nodes: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := keysOf(res.Supports); got != want {
+		t.Fatalf("multi-node scheduler union differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// benchReduced builds the medium synthetic workload used by the
+// dnc-sched experiment: large enough that the 2^qsub classes carry real
+// work, small enough for CI.
+func benchReduced(b *testing.B) *reduce.Reduced {
+	b.Helper()
+	net, err := synth.Network(synth.Params{
+		Layers: 6, Width: 6, CrossLinks: 14,
+		ReversibleFraction: 0.2, MaxCoef: 2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	red, err := reduce.Network(net, reduce.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return red
+}
+
+// BenchmarkDnCSched measures the scheduler's group-level speedup on the
+// medium synthetic workload at qsub=3. Inner parallelism is pinned to
+// one node and one worker so group concurrency is the only axis — on a
+// multicore machine groups=4 should beat groups=1 by well over 1.5x
+// (the classes are independent; the residual is queue-order imbalance).
+func BenchmarkDnCSched(b *testing.B) {
+	red := benchReduced(b)
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(red.N, red.Reversibilities(), Options{
+					Qsub:             3,
+					GroupConcurrency: groups,
+					Parallel:         parallel.Options{Nodes: 1, Core: core.Options{Workers: 1}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Supports) == 0 {
+					b.Fatal("no EFMs")
+				}
+			}
+		})
+	}
+}

@@ -304,7 +304,11 @@ func (n *Network) ReplaceReaction(name string, r Reaction) error {
 // String renders the network in the parser's input format.
 func (n *Network) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "name %s\n", n.Name)
+	// An empty name renders no directive: "name" with nothing after it
+	// would not re-parse (the parser requires "name <value>").
+	if n.Name != "" {
+		fmt.Fprintf(&b, "name %s\n", n.Name)
+	}
 	var ext []string
 	for k := range n.external {
 		ext = append(ext, k)

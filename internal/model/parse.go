@@ -125,12 +125,9 @@ func parseSide(s string) ([]Term, error) {
 		case 1:
 			terms = append(terms, Term{Coef: big.NewRat(1, 1), Met: fields[0]})
 		case 2:
-			coef, ok := new(big.Rat).SetString(fields[0])
-			if !ok {
-				return nil, fmt.Errorf("bad coefficient %q", fields[0])
-			}
-			if coef.Sign() <= 0 {
-				return nil, fmt.Errorf("non-positive coefficient %q", fields[0])
+			coef, err := parseCoef(fields[0])
+			if err != nil {
+				return nil, err
 			}
 			terms = append(terms, Term{Coef: coef, Met: fields[1]})
 		default:
@@ -138,4 +135,36 @@ func parseSide(s string) ([]Term, error) {
 		}
 	}
 	return terms, nil
+}
+
+// Coefficient-token bounds. big.Rat.SetString accepts arbitrary decimal
+// and binary exponents ("1e1000000000", "0x1p1000000000") and would
+// allocate the full expanded integer before any range check can run, so
+// the token is vetted before it reaches the big-number parser. Real
+// stoichiometries are tiny rationals; the caps are generous.
+const (
+	maxCoefLen = 64 // longest accepted coefficient token
+	maxCoefExp = 4  // most digits accepted in an exponent
+)
+
+// parseCoef parses one stoichiometric coefficient token into a positive
+// rational, rejecting pathological inputs instead of expanding them.
+func parseCoef(tok string) (*big.Rat, error) {
+	if len(tok) > maxCoefLen {
+		return nil, fmt.Errorf("coefficient %q longer than %d characters", tok[:16]+"...", maxCoefLen)
+	}
+	if i := strings.IndexAny(tok, "eEpP"); i >= 0 {
+		exp := strings.TrimLeft(tok[i+1:], "+-")
+		if len(exp) > maxCoefExp {
+			return nil, fmt.Errorf("coefficient %q exponent too large", tok)
+		}
+	}
+	coef, ok := new(big.Rat).SetString(tok)
+	if !ok {
+		return nil, fmt.Errorf("bad coefficient %q", tok)
+	}
+	if coef.Sign() <= 0 {
+		return nil, fmt.Errorf("non-positive coefficient %q", tok)
+	}
+	return coef, nil
 }

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetwork drives the text parser with arbitrary input. The
+// invariants:
+//
+//  1. Parse never panics — malformed lines must surface as errors.
+//  2. Parse returns in reasonable time — pathological coefficient
+//     tokens ("1e1000000000") must be rejected before expansion, not
+//     expanded into gigabyte integers.
+//  3. Accepted networks round-trip: String() re-parses successfully and
+//     re-renders byte-identically (the canonical-form property the
+//     differential harness and the compiled-in datasets rely on).
+func FuzzParseNetwork(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		f.Add(Builtin(name).String())
+	}
+	f.Add("name x\nR1 : A => B\n")
+	f.Add("R1 : 2 A + 1/2 B <=> C # comment\nexternal C\n")
+	f.Add("R1 : Aext => A\nR2 : A => Bext\n")
+	f.Add("R1 : 1e999999999 A => B\n")
+	f.Add("R1 : 0x1p999999999 A => B\n")
+	f.Add("R1 : 1/0 A => B\n")
+	f.Add("R1 : A =>\n")
+	f.Add("R1 :  => A\n")
+	f.Add(": A => B\n")
+	f.Add("R1 : A <=> B<=>C\n")
+	f.Add("name\nR1 : A => B\n")
+	f.Add("external\nR1 : A => B\n")
+	f.Add("R1 : A + + B => C\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		s1 := n.String()
+		n2, err := ParseString(s1)
+		if err != nil {
+			t.Fatalf("accepted network failed to re-parse its own rendering: %v\nrendering:\n%s", err, s1)
+		}
+		if s2 := n2.String(); s2 != s1 {
+			t.Fatalf("rendering is not a fixed point:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+		if len(n2.Reactions) != len(n.Reactions) {
+			t.Fatalf("round trip changed reaction count: %d -> %d", len(n.Reactions), len(n2.Reactions))
+		}
+	})
+}
+
+// TestParseCoefGuards pins the coefficient hardening: oversized tokens
+// and huge exponents must error quickly instead of allocating.
+func TestParseCoefGuards(t *testing.T) {
+	bad := []string{
+		"1e1000000000",
+		"1E1000000000",
+		"0x1p1000000000",
+		"1e999999", // NB "1e+999999" would split on '+', the term separator
+		strings.Repeat("9", 200),
+		"1/0",
+		"-2",
+		"0",
+		"nope",
+	}
+	for _, tok := range bad {
+		if _, err := ParseReaction("R1 : " + tok + " A => B"); err == nil {
+			t.Errorf("coefficient %q accepted", tok)
+		}
+	}
+	good := map[string]string{
+		"2":    "2",
+		"1/2":  "1/2",
+		"0.25": "1/4",
+		"1e3":  "1000",
+	}
+	for tok, want := range good {
+		r, err := ParseReaction("R1 : " + tok + " A => B")
+		if err != nil {
+			t.Errorf("coefficient %q rejected: %v", tok, err)
+			continue
+		}
+		if got := r.Substrates[0].Coef.RatString(); got != want {
+			t.Errorf("coefficient %q parsed as %s, want %s", tok, got, want)
+		}
+	}
+}

@@ -54,6 +54,14 @@ type Options struct {
 	// layer (cluster.WrapFaulty): deterministic crash points, message
 	// drops and delivery delays for failure-path tests and chaos runs.
 	Fault *cluster.FaultPlan
+	// MemGauge, when non-nil, receives each node's resident mode-set
+	// payload (the iteration's peak: current plus next matrix) after
+	// every iteration, and a final zero when the node finishes. It is
+	// called concurrently from every node goroutine; callers running
+	// several groups at once (the divide-and-conquer scheduler) use it
+	// for live cross-group memory accounting. It must be cheap — it sits
+	// on the iteration critical path.
+	MemGauge func(rank int, bytes int64)
 }
 
 // PhaseTimes aggregates the per-phase wall-clock seconds across
@@ -158,7 +166,7 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			res, err := runNode(p, opts.Core, comms[rank], last)
+			res, err := runNode(p, opts.Core, comms[rank], last, opts.MemGauge)
 			if err != nil {
 				// Fail fast: trip the group abort so every peer pending
 				// in a collective unblocks instead of wedging the run.
@@ -259,8 +267,11 @@ func checkReplicas(results []*nodeResult) error {
 // decomposition. Phase attribution is unchanged: per-worker gen/test CPU
 // seconds sum into the node's GenCand/RankTest rows, the parallel merge
 // wall time lands in Merge, so the Table II reporting stays honest.
-func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last int) (*nodeResult, error) {
+func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last int, gauge func(int, int64)) (*nodeResult, error) {
 	nr := &nodeResult{}
+	if gauge != nil {
+		defer gauge(comm.Rank(), 0)
+	}
 	set := core.InitialModeSet(p, tolOf(copts))
 	pool := core.NewPool(p, copts.Workers)
 	rank, size := comm.Rank(), comm.Size()
@@ -319,6 +330,9 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 		set = next
 		if b := it.Stats.PeakBytes; b > nr.peakBytes {
 			nr.peakBytes = b
+		}
+		if gauge != nil {
+			gauge(rank, it.Stats.PeakBytes)
 		}
 		nr.stats = append(nr.stats, it.Stats)
 		if copts.Trace != nil && rank == 0 {

@@ -1,0 +1,140 @@
+package synth
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"elmocomp"
+	"elmocomp/internal/dnc"
+	"elmocomp/internal/model"
+	"elmocomp/internal/reduce"
+)
+
+// synthSeed offsets the random-network seeds of the differential
+// harness, so CI (or a bisecting developer) can sweep fresh networks:
+//
+//	go test ./internal/synth/ -run Differential -synthseed 1234
+var synthSeed = flag.Int64("synthseed", 0, "seed offset for the differential property harness")
+
+// differentialPoint is one cell of the size/reversibility grid.
+type differentialPoint struct {
+	layers, width, cross int
+	revFrac              float64
+}
+
+// differentialGrid spans tiny to moderate networks, irreversible-only
+// to reversible-heavy: the regimes where drivers historically diverge
+// (reversible handling, split folding, class extraction).
+var differentialGrid = []differentialPoint{
+	{layers: 2, width: 2, cross: 1, revFrac: 0},
+	{layers: 3, width: 2, cross: 2, revFrac: 0.3},
+	{layers: 3, width: 3, cross: 3, revFrac: 0.5},
+	{layers: 4, width: 3, cross: 4, revFrac: 0.2},
+	{layers: 4, width: 4, cross: 5, revFrac: 0.8},
+}
+
+// variant is one driver configuration under differential test.
+type variant struct {
+	name string
+	cfg  elmocomp.Config
+	dnc  bool // needs a valid partition; skipped when none exists
+}
+
+func variants() []variant {
+	v := []variant{
+		{name: "serial/workers=1", cfg: elmocomp.Config{Workers: 1}},
+		{name: "serial/workers=4", cfg: elmocomp.Config{Workers: 4}},
+		{name: "parallel/inproc/nodes=2", cfg: elmocomp.Config{Algorithm: elmocomp.Parallel, Nodes: 2, Workers: 1}},
+		{name: "parallel/tcp/nodes=2", cfg: elmocomp.Config{Algorithm: elmocomp.Parallel, Nodes: 2, Workers: 1, OverTCP: true}},
+	}
+	for _, groups := range []int{0, 1, 2, 4} {
+		name := "dnc/sequential"
+		if groups > 0 {
+			name = fmt.Sprintf("dnc/scheduler/groups=%d", groups)
+		}
+		v = append(v, variant{
+			name: name,
+			cfg:  elmocomp.Config{Algorithm: elmocomp.DivideAndConquer, Workers: 1, GroupConcurrency: groups},
+			dnc:  true,
+		})
+	}
+	return v
+}
+
+// dncQsub returns the largest usable partition size (2, then 1) for the
+// network, or 0 when the reduced problem is too small to partition at
+// all — the dnc variants are then skipped for that grid point.
+func dncQsub(t *testing.T, n *model.Network) int {
+	t.Helper()
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qsub := range []int{2, 1} {
+		if _, err := dnc.AutoPartition(red.N, red.Reversibilities(), qsub); err == nil {
+			return qsub
+		}
+	}
+	return 0
+}
+
+// TestDifferentialDrivers is the cross-driver property harness: for a
+// grid of random networks, every driver — serial, worker-pool, cluster
+// in-process and over TCP, sequential divide-and-conquer, and the
+// subproblem scheduler at several group counts — must produce the same
+// canonical-support fingerprint and EFM count.
+func TestDifferentialDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness runs full driver sweeps; skipped with -short")
+	}
+	for gi, pt := range differentialGrid {
+		pt := pt
+		seed := *synthSeed + int64(gi)
+		name := fmt.Sprintf("l%dw%dx%d_rev%.0f_seed%d", pt.layers, pt.width, pt.cross, pt.revFrac*100, seed)
+		t.Run(name, func(t *testing.T) {
+			n, err := Network(Params{
+				Layers: pt.layers, Width: pt.width, CrossLinks: pt.cross,
+				ReversibleFraction: pt.revFrac, MaxCoef: 2, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := elmocomp.ParseNetworkString(n.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			qsub := dncQsub(t, n)
+
+			var wantFP uint64
+			var wantLen int
+			first := ""
+			for _, v := range variants() {
+				if v.dnc {
+					if qsub == 0 {
+						t.Logf("%s: skipped (network too small to partition)", v.name)
+						continue
+					}
+					v.cfg.Qsub = qsub
+				}
+				res, err := elmocomp.ComputeEFMs(net, v.cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if first == "" {
+					first, wantFP, wantLen = v.name, res.Fingerprint(), res.Len()
+					if wantLen == 0 {
+						t.Fatal("degenerate grid point: no EFMs at all")
+					}
+					continue
+				}
+				if res.Len() != wantLen {
+					t.Errorf("%s: %d EFMs, %s found %d", v.name, res.Len(), first, wantLen)
+				}
+				if res.Fingerprint() != wantFP {
+					t.Errorf("%s: fingerprint %016x, %s's %016x", v.name, res.Fingerprint(), first, wantFP)
+				}
+			}
+		})
+	}
+}
