@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"elmocomp"
 	"elmocomp/internal/prof"
+	"elmocomp/internal/server"
 	"elmocomp/internal/stats"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		out       = flag.String("out", "", "write EFM supports to this file (default: count only)")
 		writeFlux = flag.Bool("flux", false, "include exact flux values in the output")
 		verify    = flag.Bool("verify", false, "re-verify every mode in exact arithmetic")
+		jsonOut   = flag.Bool("json", false, "print a machine-readable run summary (the efmd result schema) instead of text")
 		verbose   = flag.Bool("v", false, "progress output")
 		statsFlag = flag.Bool("stats", false, "print per-iteration/per-subproblem statistics")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -101,36 +104,52 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("network: %s (%d metabolites x %d reactions)\n",
-		net.Name(), net.NumInternalMetabolites(), net.NumReactions())
-	fmt.Printf("reduction: %s\n", res.ReductionSummary())
-	fmt.Printf("elementary flux modes: %s\n", stats.Count(int64(res.Len())))
-	fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
-	fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
-	if res.Scheduler != nil {
-		fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",
-			stats.Bytes(res.PeakConcurrentBytes), res.Scheduler.MaxActive)
+	if *jsonOut {
+		// The same summary struct the efmd result endpoint serves, so
+		// scripts can switch between CLI and service output unchanged.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(server.Summarize(net, res, elapsed)); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("network: %s (%d metabolites x %d reactions)\n",
+			net.Name(), net.NumInternalMetabolites(), net.NumReactions())
+		fmt.Printf("reduction: %s\n", res.ReductionSummary())
+		fmt.Printf("elementary flux modes: %s\n", stats.Count(int64(res.Len())))
+		fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
+		fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
+		if res.Scheduler != nil {
+			fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",
+				stats.Bytes(res.PeakConcurrentBytes), res.Scheduler.MaxActive)
+		}
+		if res.CommBytes > 0 {
+			fmt.Printf("communication: %s payload (%s on the wire) in %s messages\n",
+				stats.Bytes(res.CommBytes), stats.Bytes(res.CommWireBytes), stats.Count(res.CommMessages))
+		}
+		fmt.Printf("elapsed: %v\n", elapsed)
 	}
-	if res.CommBytes > 0 {
-		fmt.Printf("communication: %s payload (%s on the wire) in %s messages\n",
-			stats.Bytes(res.CommBytes), stats.Bytes(res.CommWireBytes), stats.Count(res.CommMessages))
-	}
-	fmt.Printf("elapsed: %v\n", elapsed)
 
-	if *statsFlag {
+	if *statsFlag && !*jsonOut {
 		printStats(res)
+	}
+	// In -json mode stdout carries only the summary object; side-channel
+	// notes go to stderr.
+	notes := os.Stdout
+	if *jsonOut {
+		notes = os.Stderr
 	}
 	if *verify {
 		if err := res.Verify(); err != nil {
 			fatal(fmt.Errorf("verification FAILED: %w", err))
 		}
-		fmt.Println("verification: all modes exact-checked OK")
+		fmt.Fprintln(notes, "verification: all modes exact-checked OK")
 	}
 	if *out != "" {
 		if err := writeOutput(*out, res, *writeFlux); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d modes to %s\n", res.Len(), *out)
+		fmt.Fprintf(notes, "wrote %d modes to %s\n", res.Len(), *out)
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)

@@ -1,0 +1,97 @@
+// Command efmd serves elementary-flux-mode enumeration over HTTP: a
+// bounded job queue in front of the library drivers, a content-addressed
+// result cache, NDJSON progress streaming, and cancellation.
+//
+// Usage:
+//
+//	efmd -addr 127.0.0.1:9178
+//
+//	curl -s localhost:9178/v1/jobs -d '{"model":"toy"}'
+//	curl -s localhost:9178/v1/jobs/j000001/events
+//	curl -s localhost:9178/v1/jobs/j000001/result
+//	curl -s -X DELETE localhost:9178/v1/jobs/j000001
+//
+// SIGTERM/SIGINT drain gracefully: admissions stop (503), running jobs
+// get -drain-timeout to finish, stragglers are canceled through the
+// abort latch, and the process exits once every job is terminal.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elmocomp/internal/jobs"
+	"elmocomp/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9178", "listen address")
+		queue        = flag.Int("queue", 64, "admission queue capacity (submissions beyond it get 429)")
+		concurrency  = flag.Int("concurrency", 2, "concurrently running jobs (each may use many cores)")
+		cacheMB      = flag.Int("cache-mb", 64, "result cache budget in MiB (0 disables)")
+		keepJobs     = flag.Int("keep-jobs", 256, "terminal jobs kept addressable by ID")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown before they are canceled")
+	)
+	flag.Parse()
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	mgr := jobs.New(jobs.Config{
+		Queue:      *queue,
+		Workers:    *concurrency,
+		CacheBytes: cacheBytes,
+		KeepJobs:   *keepJobs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("efmd: listening on %s (queue %d, concurrency %d, cache %d MiB)",
+			*addr, *queue, *concurrency, *cacheMB)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("efmd: draining (grace %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("efmd: drain: %v", err)
+	}
+	// Every job is terminal now, so open event streams have ended and the
+	// remaining handlers return promptly.
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("efmd: http shutdown: %v", err)
+	}
+	log.Printf("efmd: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "efmd:", err)
+	os.Exit(1)
+}

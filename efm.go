@@ -24,6 +24,7 @@
 package elmocomp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -514,6 +515,15 @@ func (r *Result) Verify() error {
 
 // ComputeEFMs computes the elementary flux modes of the network.
 func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
+	return computeEFMs(n, cfg, nil)
+}
+
+// computeEFMs is the driver dispatch shared by ComputeEFMs and the
+// cancellable entry points: cancel, when non-nil, aborts the run as soon
+// as it is closed (between iterations for the serial engine, through the
+// communicator group's abort latch for the distributed drivers) and the
+// returned error matches ErrCanceled.
+func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error) {
 	red, err := reduce.Network(n.inner, reduce.Options{MergeDuplicates: !cfg.KeepDuplicateReactions})
 	if err != nil {
 		return nil, err
@@ -549,8 +559,14 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		copts.Cancel = cancel
 		run, err := core.Run(p, copts)
 		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				// Normalize on the cluster substrate's sentinel so callers
+				// classify cancellation uniformly across drivers.
+				err = fmt.Errorf("%v: %w", err, cluster.ErrCanceled)
+			}
 			return nil, err
 		}
 		res.supports = core.CanonicalSupports(run)
@@ -563,7 +579,7 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		popts := parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout}
+		popts := parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout, Cancel: cancel}
 		if cfg.OverTCP {
 			popts.Transport = parallel.TCP
 		}
@@ -582,7 +598,7 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 		res.Phases = PhaseSeconds{mp.GenCand, mp.RankTest, mp.Communicate, mp.Merge}
 	case DivideAndConquer:
 		dopts := dnc.Options{
-			Parallel:         parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout},
+			Parallel:         parallel.Options{Core: copts, Nodes: cfg.Nodes, Timeout: cfg.CommTimeout, Cancel: cancel},
 			Qsub:             cfg.Qsub,
 			GroupConcurrency: cfg.GroupConcurrency,
 		}

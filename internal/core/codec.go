@@ -6,26 +6,50 @@ import (
 	"math"
 )
 
+// The mode-set byte stream starts with a fixed magic and a format
+// version. The payload used to be distinguishable from garbage only by
+// length arithmetic; now that encoded sets outlive a single collective
+// exchange — the job service persists them in its content-addressed
+// result cache — a truncated file, a foreign blob, or a payload written
+// by a future incompatible build must fail loudly at the header, not
+// decode into plausible nonsense. The cluster wire path carries exactly
+// this format too, so the 8 header bytes are counted in the payload
+// (GroupStats.Bytes) and wire (GroupStats.WireBytes) accounting like
+// every other payload byte.
+const (
+	// CodecMagic is the little-endian uint32 spelling "EFMS".
+	CodecMagic = uint32('E') | uint32('F')<<8 | uint32('M')<<16 | uint32('S')<<24
+	// CodecVersion is the current mode-set format version. Decoders
+	// reject newer versions instead of misreading them.
+	CodecVersion = 1
+	// codecHeaderLen is the magic+version preamble size in bytes.
+	codecHeaderLen = 8
+)
+
 // Encode serializes the mode set into a compact byte stream (little
-// endian): header (q, firstRow, revRows, n) followed by the flat bit
-// words and float64 values. This is the wire format of the
-// Communicate&Merge step — candidate sets travel between compute nodes
-// in exactly this form, so communication volume is measured faithfully.
+// endian): magic, version, header (q, firstRow, revRows, n) followed by
+// the flat bit words and float64 values. This is both the wire format of
+// the Communicate&Merge step — candidate sets travel between compute
+// nodes in exactly this form, so communication volume is measured
+// faithfully — and the storage format of the job service's
+// content-addressed result cache.
 func (s *ModeSet) Encode() []byte {
 	nRev := len(s.revRows)
-	size := 4*4 + 4*nRev + len(s.bits)*8 + len(s.vals)*8
+	size := codecHeaderLen + 4*4 + 4*nRev + len(s.bits)*8 + len(s.vals)*8
 	out := make([]byte, size)
 	o := 0
-	put32 := func(v int) {
-		binary.LittleEndian.PutUint32(out[o:], uint32(v))
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(out[o:], v)
 		o += 4
 	}
-	put32(s.q)
-	put32(s.firstRow)
-	put32(nRev)
-	put32(s.n)
+	put32(CodecMagic)
+	put32(CodecVersion)
+	put32(uint32(s.q))
+	put32(uint32(s.firstRow))
+	put32(uint32(nRev))
+	put32(uint32(s.n))
 	for _, r := range s.revRows {
-		put32(r)
+		put32(uint32(r))
 	}
 	for _, w := range s.bits {
 		binary.LittleEndian.PutUint64(out[o:], w)
@@ -40,10 +64,19 @@ func (s *ModeSet) Encode() []byte {
 
 // DecodeModeSet reconstructs a mode set from its Encode form.
 func DecodeModeSet(data []byte) (*ModeSet, error) {
-	if len(data) < 16 {
+	if len(data) < codecHeaderLen {
 		return nil, fmt.Errorf("core: mode-set payload truncated (%d bytes)", len(data))
 	}
-	o := 0
+	if magic := binary.LittleEndian.Uint32(data); magic != CodecMagic {
+		return nil, fmt.Errorf("core: not a mode-set payload (magic %#08x, want %#08x)", magic, CodecMagic)
+	}
+	if version := binary.LittleEndian.Uint32(data[4:]); version != CodecVersion {
+		return nil, fmt.Errorf("core: unsupported mode-set format version %d (this build reads %d)", version, CodecVersion)
+	}
+	if len(data) < codecHeaderLen+16 {
+		return nil, fmt.Errorf("core: mode-set payload truncated (%d bytes)", len(data))
+	}
+	o := codecHeaderLen
 	get32 := func() int {
 		v := int(int32(binary.LittleEndian.Uint32(data[o:])))
 		o += 4
@@ -56,7 +89,7 @@ func DecodeModeSet(data []byte) (*ModeSet, error) {
 	if q < 0 || firstRow < 0 || firstRow > q || nRev < 0 || n < 0 {
 		return nil, fmt.Errorf("core: corrupt mode-set header (q=%d firstRow=%d nRev=%d n=%d)", q, firstRow, nRev, n)
 	}
-	if len(data) < 16+4*nRev {
+	if len(data) < o+4*nRev {
 		return nil, fmt.Errorf("core: mode-set payload truncated in revRows")
 	}
 	revRows := make([]int, nRev)

@@ -81,22 +81,49 @@ func TestEncodeEmptySet(t *testing.T) {
 func TestDecodeCorruptPayloads(t *testing.T) {
 	_, set := buildSet(t)
 	data := set.Encode()
-	cases := [][]byte{
-		nil,
-		data[:3],
-		data[:len(data)-1],
-		append(append([]byte{}, data...), 0),
+	corrupt := func(off int, b byte) []byte {
+		c := append([]byte{}, data...)
+		c[off] = b
+		return c
 	}
-	for i, c := range cases {
+	cases := map[string][]byte{
+		"nil":               nil,
+		"truncated magic":   data[:3],
+		"header only":       data[:8],
+		"one byte short":    data[:len(data)-1],
+		"one byte extra":    append(append([]byte{}, data...), 0),
+		"bad magic":         corrupt(0, 'X'),
+		"future version":    corrupt(4, 99),
+		"version zero":      corrupt(4, 0),
+		"negative q":        {data[0], data[1], data[2], data[3], data[4], data[5], data[6], data[7], 0xff, 0xff, 0xff, 0xff},
+		"legacy headerless": data[8:],
+	}
+	for name, c := range cases {
 		if _, err := DecodeModeSet(c); err == nil {
-			t.Errorf("case %d: corrupt payload accepted", i)
+			t.Errorf("%s: corrupt payload accepted", name)
 		}
 	}
-	// Negative / absurd header fields.
+	// Negative n via the post-magic header (offset 8 starts q).
 	bad := append([]byte{}, data...)
-	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff // q = -1
+	for i := 20; i < 24; i++ { // n field
+		bad[i] = 0xff
+	}
 	if _, err := DecodeModeSet(bad); err == nil {
-		t.Error("negative q accepted")
+		t.Error("negative n accepted")
+	}
+}
+
+func TestEncodeHeader(t *testing.T) {
+	_, set := buildSet(t)
+	data := set.Encode()
+	if len(data) < 8 {
+		t.Fatalf("payload too short: %d", len(data))
+	}
+	if got := string(data[:4]); got != "EFMS" {
+		t.Fatalf("magic = %q, want EFMS", got)
+	}
+	if v := uint32(data[4]) | uint32(data[5])<<8 | uint32(data[6])<<16 | uint32(data[7])<<24; v != CodecVersion {
+		t.Fatalf("version = %d, want %d", v, CodecVersion)
 	}
 }
 

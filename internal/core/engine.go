@@ -18,6 +18,12 @@ import (
 // e.g. a communication fault, unchanged).
 var ErrBudget = errors.New("core: intermediate mode budget exceeded")
 
+// ErrCanceled marks a run aborted through Options.Cancel. The serial
+// driver checks the channel between iterations; the distributed drivers
+// carry their own cancellation through the cluster substrate's abort
+// latch and never see this error.
+var ErrCanceled = errors.New("core: run canceled")
+
 // TestKind selects the elementarity test applied to candidate modes.
 type TestKind int
 
@@ -62,6 +68,12 @@ type Options struct {
 	// iteration statistics and the new mode set (used to print the
 	// paper's Figure 2 trace).
 	Trace func(it IterStats, set *ModeSet)
+	// Cancel, when non-nil, aborts the run at the next iteration
+	// boundary once closed; Run then returns an error matching
+	// ErrCanceled. This is the serial engine's half of the cancellation
+	// story — the distributed drivers cancel through the communicator
+	// group's abort latch instead.
+	Cancel <-chan struct{}
 }
 
 func (o Options) tol() float64 {
@@ -180,6 +192,13 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 	res := &Result{Problem: p, Modes: set}
 	pool := NewPool(p, opts.workers())
 	for row := p.D; row < last; row++ {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return nil, fmt.Errorf("%w at row %d", ErrCanceled, row)
+			default:
+			}
+		}
 		it := BeginRow(p, set, row, opts)
 		cands := pool.GenerateRange(it, 0, it.Pairs(), &it.Stats)
 		next, err := pool.AssembleNext(it, cands)

@@ -1,0 +1,134 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: request key →
+// EncodeSupports payload, LRU-evicted under a byte budget. Identical
+// networks are re-analyzed constantly in practice (knockout screens
+// resubmit the same wild-type enumeration dozens of times), so a hit
+// converts minutes of driver compute into a byte copy. Entries carry the
+// producing run's fingerprint; the manager re-verifies it against the
+// reconstructed result before serving, making corruption detectable end
+// to end.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions, rejected int64
+}
+
+type cacheEntry struct {
+	key         string
+	payload     []byte
+	fingerprint uint64
+	modes       int
+}
+
+// CacheStats is a point-in-time snapshot of the cache's gauges and
+// counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Rejected counts payloads larger than the whole budget, stored
+	// nowhere (admitting one would evict the entire cache for a single
+	// entry).
+	Rejected int64 `json:"rejected"`
+}
+
+// NewCache returns a cache bounded by budget bytes of payload. A budget
+// <= 0 disables caching: every Get misses, every Put is dropped.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the payload, fingerprint and mode count cached for key,
+// marking the entry most recently used. The returned payload is shared —
+// callers must not mutate it.
+func (c *Cache) Get(key string) (payload []byte, fingerprint uint64, modes int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		c.misses++
+		return nil, 0, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.payload, e.fingerprint, e.modes, true
+}
+
+// Put stores a payload under key, evicting least-recently-used entries
+// until the byte budget holds. Re-putting an existing key replaces the
+// entry.
+func (c *Cache) Put(key string, payload []byte, fingerprint uint64, modes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(payload)) > c.budget {
+		c.rejected++
+		return
+	}
+	if el, found := c.items[key]; found {
+		e := el.Value.(*cacheEntry)
+		c.size += int64(len(payload)) - int64(len(e.payload))
+		e.payload, e.fingerprint, e.modes = payload, fingerprint, modes
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, payload: payload, fingerprint: fingerprint, modes: modes})
+		c.items[key] = el
+		c.size += int64(len(payload))
+	}
+	for c.size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+// Remove drops key from the cache (a decode failure poisons the entry).
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.items[key]; found {
+		c.removeLocked(el)
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.size -= int64(len(e.payload))
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.size,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Rejected:  c.rejected,
+	}
+}

@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	pay := func(n int) []byte { return make([]byte, n) }
+	c.Put("a", pay(40), 1, 1)
+	c.Put("b", pay(40), 2, 2)
+	// Touch "a" so "b" is the LRU victim.
+	if _, fp, _, ok := c.Get("a"); !ok || fp != 1 {
+		t.Fatalf("Get(a) = %v fp=%d", ok, fp)
+	}
+	c.Put("c", pay(40), 3, 3)
+	if _, _, _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, _, _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if _, _, _, ok := c.Get("c"); !ok {
+		t.Error("fresh entry c missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+	if st.Bytes != 80 {
+		t.Errorf("bytes = %d, want 80", st.Bytes)
+	}
+}
+
+func TestCacheReplaceAndRemove(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", make([]byte, 60), 7, 5)
+	c.Put("k", make([]byte, 20), 8, 6) // replace shrinks
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 20 {
+		t.Fatalf("after replace: %+v", st)
+	}
+	if _, fp, modes, ok := c.Get("k"); !ok || fp != 8 || modes != 6 {
+		t.Fatalf("replaced entry: ok=%v fp=%d modes=%d", ok, fp, modes)
+	}
+	c.Remove("k")
+	if _, _, _, ok := c.Get("k"); ok {
+		t.Error("removed entry still served")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Errorf("bytes = %d after remove, want 0", st.Bytes)
+	}
+}
+
+func TestCacheRejectsOversizeAndDisabled(t *testing.T) {
+	c := NewCache(10)
+	c.Put("big", make([]byte, 11), 1, 1)
+	if _, _, _, ok := c.Get("big"); ok {
+		t.Error("over-budget payload admitted")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+	off := NewCache(-1)
+	off.Put("k", []byte{1}, 1, 1)
+	if _, _, _, ok := off.Get("k"); ok {
+		t.Error("disabled cache served an entry")
+	}
+}
+
+func TestCacheManyKeysStayWithinBudget(t *testing.T) {
+	c := NewCache(256)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 32), uint64(i), i)
+	}
+	st := c.Stats()
+	if st.Bytes > 256 {
+		t.Errorf("size %d exceeds budget", st.Bytes)
+	}
+	if st.Entries != 8 {
+		t.Errorf("entries = %d, want 8", st.Entries)
+	}
+}

@@ -1,0 +1,446 @@
+// Package jobs is the serving layer's job manager: a bounded admission
+// queue in front of the enumeration drivers, per-job lifecycle tracking
+// with streaming progress events, in-flight coalescing of identical
+// requests, and a content-addressed result cache.
+//
+// The manager turns the one-shot library call into a long-lived service
+// substrate: submissions are admitted (or rejected when the queue is
+// full), identical concurrent submissions share a single driver run
+// (keyed by elmocomp.RequestKey), completed mode sets are stored as
+// EncodeSupports payloads in a byte-budget LRU, and cancellation rides
+// the same first-trip-wins abort latch the cluster substrate uses —
+// a DELETE trips the job's latch, the driver unwinds at its next row
+// boundary or collective, and the worker slot frees for the next job.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/cluster"
+)
+
+// The manager's failure vocabulary.
+var (
+	// ErrQueueFull rejects a submission when the bounded admission queue
+	// has no free slot — the service's backpressure signal.
+	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("jobs: manager draining")
+	// ErrNotFound marks an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotDone is returned by Job.Result before the job completed.
+	ErrNotDone = errors.New("jobs: job not done")
+	// ErrCanceledByClient is the latch cause recorded for DELETE-style
+	// cancellations.
+	ErrCanceledByClient = errors.New("jobs: canceled by client request")
+)
+
+// Request is one unit of work: a parsed network plus the computation
+// configuration. Config.Progress is owned by the manager (progress lines
+// become job events) and must be nil.
+type Request struct {
+	Network *elmocomp.Network
+	Config  elmocomp.Config
+}
+
+// ComputeFunc runs one request to completion or cancellation. The
+// default is elmocomp.ComputeEFMsCancel; tests substitute controllable
+// fakes.
+type ComputeFunc func(req Request, cancel <-chan struct{}) (*elmocomp.Result, error)
+
+// Config sizes the manager.
+type Config struct {
+	// Queue is the admission queue capacity: jobs admitted but not yet
+	// running. Submissions beyond it fail fast with ErrQueueFull.
+	// Default 64.
+	Queue int
+	// Workers is the number of concurrently running driver jobs.
+	// Default 2. Each driver run may itself use many cores (the
+	// request's Workers/Nodes/GroupConcurrency options); this bounds
+	// cross-job concurrency, not intra-job parallelism.
+	Workers int
+	// CacheBytes is the result cache's payload budget. 0 means 64 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// KeepJobs bounds how many terminal jobs stay addressable by ID
+	// (results can hold megabytes of modes; without a bound the jobs map
+	// grows forever). Oldest-finished evict first. 0 means 256; negative
+	// disables eviction.
+	KeepJobs int
+	// Compute overrides the driver entry point (tests). Nil means
+	// elmocomp.ComputeEFMsCancel.
+	Compute ComputeFunc
+}
+
+// Counters are the manager's cumulative run counters, exported on /varz
+// and asserted by the cache/coalescing tests: a cache hit must not move
+// RunsStarted.
+type Counters struct {
+	Submitted    int64 `json:"submitted"`
+	Coalesced    int64 `json:"coalesced"`
+	CacheHits    int64 `json:"cache_hits"`
+	Rejected     int64 `json:"rejected"`
+	RunsStarted  int64 `json:"runs_started"`
+	RunsDone     int64 `json:"runs_done"`
+	RunsFailed   int64 `json:"runs_failed"`
+	RunsCanceled int64 `json:"runs_canceled"`
+	// Scheduler counter totals summed over completed divide-and-conquer
+	// scheduler runs (elmocomp.SchedulerStats).
+	SchedEnqueued   int64 `json:"sched_enqueued"`
+	SchedSteals     int64 `json:"sched_steals"`
+	SchedResplits   int64 `json:"sched_resplits"`
+	SchedUnresolved int64 `json:"sched_unresolved"`
+}
+
+// Stats is the /varz snapshot.
+type Stats struct {
+	Counters Counters   `json:"counters"`
+	Cache    CacheStats `json:"cache"`
+	Queued   int        `json:"queued"`
+	Running  int        `json:"running"`
+	Jobs     int        `json:"jobs"`
+	Draining bool       `json:"draining"`
+}
+
+// Manager owns the job lifecycle. Construct with New, stop with
+// Shutdown.
+type Manager struct {
+	cfg     Config
+	compute ComputeFunc
+	cache   *Cache
+	queue   chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // request key → queued/running job
+	running  int
+	queued   int
+	retired  []string // terminal job IDs in finish order, oldest first
+	draining bool
+	closed   bool
+	nextID   int64
+	counters Counters
+
+	wg sync.WaitGroup
+}
+
+// New starts a manager with cfg.Workers worker goroutines.
+func New(cfg Config) *Manager {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.KeepJobs == 0 {
+		cfg.KeepJobs = 256
+	}
+	m := &Manager{
+		cfg:      cfg,
+		compute:  cfg.Compute,
+		cache:    NewCache(cfg.CacheBytes),
+		queue:    make(chan *Job, cfg.Queue),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	if m.compute == nil {
+		m.compute = func(req Request, cancel <-chan struct{}) (*elmocomp.Result, error) {
+			return elmocomp.ComputeEFMsCancel(req.Network, req.Config, cancel)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a request. The fast paths return without queueing: an
+// identical in-flight job is joined (coalesced), a cached result births
+// the job directly in the done state. Otherwise the job takes a queue
+// slot or the submission fails with ErrQueueFull.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if req.Network == nil {
+		return nil, errors.New("jobs: request has no network")
+	}
+	if req.Config.Progress != nil {
+		return nil, errors.New("jobs: Request.Config.Progress is owned by the manager")
+	}
+	key := elmocomp.RequestKey(req.Network, req.Config)
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.counters.Submitted++
+	if j := m.inflight[key]; j != nil {
+		j.mu.Lock()
+		j.coalesce++
+		j.mu.Unlock()
+		m.counters.Coalesced++
+		m.mu.Unlock()
+		return j, nil
+	}
+	m.mu.Unlock()
+
+	// Cache probe outside the manager lock: reconstructing a result
+	// re-reduces the network, which is cheap next to enumeration but too
+	// heavy for a lock held by every submission.
+	if payload, fp, _, ok := m.cache.Get(key); ok {
+		res, err := elmocomp.ResultFromEncodedSupports(req.Network, req.Config, payload)
+		if err == nil && res.Fingerprint() == fp {
+			return m.adoptCacheHit(key, req, res, fp)
+		}
+		// Poisoned entry (stale format, corruption): drop it and run.
+		m.cache.Remove(key)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	// Re-check coalescing: an identical submission may have landed while
+	// the cache probe ran unlocked.
+	if j := m.inflight[key]; j != nil {
+		j.mu.Lock()
+		j.coalesce++
+		j.mu.Unlock()
+		m.counters.Coalesced++
+		return j, nil
+	}
+	j := newJob(m.newIDLocked(), key, req)
+	select {
+	case m.queue <- j:
+	default:
+		m.counters.Rejected++
+		return nil, fmt.Errorf("%w (%d slots)", ErrQueueFull, m.cfg.Queue)
+	}
+	m.queued++
+	m.jobs[j.ID] = j
+	m.inflight[key] = j
+	return j, nil
+}
+
+// adoptCacheHit registers a job that was born done from a cached
+// payload. It never occupies a queue slot or a worker.
+func (m *Manager) adoptCacheHit(key string, req Request, res *elmocomp.Result, fp uint64) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	j := newJob(m.newIDLocked(), key, req)
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+	j.finalize(StateDone, res, fp, nil, fmt.Sprintf("cache hit: %d modes, fingerprint %016x", res.Len(), fp))
+	m.jobs[j.ID] = j
+	m.counters.CacheHits++
+	m.retireLocked(j)
+	return j, nil
+}
+
+// retireLocked records a terminal job in finish order and evicts the
+// oldest terminal jobs beyond the retention bound. Caller holds m.mu.
+func (m *Manager) retireLocked(j *Job) {
+	if m.cfg.KeepJobs < 0 {
+		return
+	}
+	m.retired = append(m.retired, j.ID)
+	for len(m.retired) > m.cfg.KeepJobs {
+		delete(m.jobs, m.retired[0])
+		m.retired = m.retired[1:]
+	}
+}
+
+func (m *Manager) newIDLocked() string {
+	m.nextID++
+	return fmt.Sprintf("j%06d", m.nextID)
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j := m.jobs[id]; j != nil {
+		return j, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+}
+
+// Cancel trips the job's abort latch. Queued jobs finalize immediately
+// and release their request key; running jobs unwind through the driver
+// and free their worker slot when the compute call returns.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	wasQueued, changed := j.Cancel(ErrCanceledByClient)
+	if !changed {
+		return nil // already terminal: cancel is idempotent
+	}
+	if wasQueued {
+		// The job finalized without ever reaching a worker: its
+		// admission bookkeeping unwinds here instead of in runJob.
+		m.mu.Lock()
+		if m.inflight[j.Key] == j {
+			delete(m.inflight, j.Key)
+		}
+		m.queued--
+		m.counters.RunsCanceled++
+		m.retireLocked(j)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// worker runs queued jobs until the queue closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job through the compute entry point and finalizes
+// its lifecycle, cache entry and counters.
+func (m *Manager) runJob(j *Job) {
+	if !j.tryStart() {
+		// Canceled while queued; its bookkeeping ran in Cancel.
+		return
+	}
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.counters.RunsStarted++
+	m.mu.Unlock()
+
+	req := j.req
+	req.Config.Progress = j.Progress
+	res, err := m.compute(req, j.latch.Done())
+
+	var fp uint64
+	var state State
+	var note string
+	switch {
+	case err == nil:
+		fp = res.Fingerprint()
+		state = StateDone
+		note = fmt.Sprintf("%d modes, fingerprint %016x", res.Len(), fp)
+		m.cache.Put(j.Key, res.EncodeSupports(), fp, res.Len())
+	case j.latch.Cause() != nil:
+		// The latch tripped and the driver unwound: report the cancel
+		// cause, not the ErrAborted/ErrCanceled cascade it triggered.
+		state = StateCanceled
+		err = &cluster.AbortError{Cause: j.latch.Cause()}
+	default:
+		state = StateFailed
+	}
+	j.finalize(state, res, fp, err, note)
+
+	m.mu.Lock()
+	if m.inflight[j.Key] == j {
+		delete(m.inflight, j.Key)
+	}
+	m.running--
+	switch state {
+	case StateDone:
+		m.counters.RunsDone++
+	case StateCanceled:
+		m.counters.RunsCanceled++
+	default:
+		m.counters.RunsFailed++
+	}
+	if res != nil && res.Scheduler != nil {
+		m.counters.SchedEnqueued += res.Scheduler.Enqueued
+		m.counters.SchedSteals += res.Scheduler.Steals
+		m.counters.SchedResplits += res.Scheduler.Resplits
+		m.counters.SchedUnresolved += res.Scheduler.Unresolved
+	}
+	m.retireLocked(j)
+	m.mu.Unlock()
+}
+
+// Stats snapshots the manager gauges and counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Counters: m.counters,
+		Cache:    m.cache.Stats(),
+		Queued:   m.queued,
+		Running:  m.running,
+		Jobs:     len(m.jobs),
+		Draining: m.draining,
+	}
+}
+
+// Draining reports whether the manager has begun shutdown.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain stops admissions and waits for every queued and running job to
+// reach a terminal state. When ctx ends first, the remaining jobs are
+// canceled and waited for (the drivers unwind promptly on the latch).
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	ctxDone := ctx.Done()
+	for {
+		m.mu.Lock()
+		idle := m.queued == 0 && m.running == 0
+		var pending []*Job
+		if !idle {
+			for _, j := range m.inflight {
+				pending = append(pending, j)
+			}
+		}
+		m.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctxDone:
+			// Deadline passed: cancel the stragglers, then keep waiting
+			// for the drivers to unwind (nil ctxDone blocks, so this
+			// branch fires once).
+			ctxDone = nil
+			for _, j := range pending {
+				// Route through Manager.Cancel so queued jobs release
+				// their bookkeeping.
+				_ = m.Cancel(j.ID)
+			}
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Shutdown drains and then stops the workers. The manager accepts no
+// submissions afterwards.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	err := m.Drain(ctx)
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	return err
+}

@@ -152,6 +152,11 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 			case <-stop:
 			}
 		}()
+		// Nodes also poll the channel at every row boundary (see
+		// runNode): the group abort above unblocks pending collectives
+		// immediately, the per-row poll bounds how long a node keeps
+		// computing between collectives after a cancel.
+		opts.Core.Cancel = opts.Cancel
 	}
 
 	last := opts.Core.LastRow
@@ -278,6 +283,16 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 	var local *core.ModeSet
 
 	for row := p.D; row < last; row++ {
+		if copts.Cancel != nil {
+			select {
+			case <-copts.Cancel:
+				// Return the abort-shaped error directly so Run's
+				// classification reports cluster.ErrCanceled, exactly as
+				// if the group abort had interrupted a collective.
+				return nil, &cluster.AbortError{Cause: cluster.ErrCanceled}
+			default:
+			}
+		}
 		it := core.BeginRow(p, set, row, copts)
 
 		// ParallelGenerateEFMCands: this node's combinatorial slice of

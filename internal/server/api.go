@@ -1,0 +1,167 @@
+// Package server exposes the jobs manager over HTTP: a small JSON API
+// for submitting enumeration requests, streaming their progress as
+// NDJSON, fetching results, and canceling. The wire structs double as
+// the machine-readable output format of efmcalc -json, so scripts can
+// switch between the CLI and the service without reshaping anything.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/jobs"
+)
+
+// RunOptions is the JSON mirror of elmocomp.Config. Zero values mean
+// the library defaults; the field vocabulary matches the efmcalc flags.
+type RunOptions struct {
+	Algorithm      string   `json:"algorithm,omitempty"` // serial | parallel | dnc
+	Nodes          int      `json:"nodes,omitempty"`
+	Workers        int      `json:"workers,omitempty"`
+	Qsub           int      `json:"qsub,omitempty"`
+	Groups         int      `json:"groups,omitempty"`
+	Partition      []string `json:"partition,omitempty"`
+	Test           string   `json:"test,omitempty"` // rank | tree
+	Split          bool     `json:"split,omitempty"`
+	NoHybrid       bool     `json:"no_hybrid,omitempty"`
+	KeepDuplicates bool     `json:"keep_duplicates,omitempty"`
+	MaxModes       int      `json:"max_modes,omitempty"`
+	Tolerance      float64  `json:"tolerance,omitempty"`
+	// CommTimeoutSeconds bounds each inter-node collective.
+	CommTimeoutSeconds float64 `json:"comm_timeout_seconds,omitempty"`
+}
+
+// Config translates the wire options into a library Config.
+func (o RunOptions) Config() (elmocomp.Config, error) {
+	cfg := elmocomp.Config{
+		Nodes:                  o.Nodes,
+		Workers:                o.Workers,
+		Qsub:                   o.Qsub,
+		GroupConcurrency:       o.Groups,
+		Partition:              o.Partition,
+		SplitReversible:        o.Split,
+		DisableHybridPrefilter: o.NoHybrid,
+		KeepDuplicateReactions: o.KeepDuplicates,
+		MaxIntermediateModes:   o.MaxModes,
+		Tolerance:              o.Tolerance,
+		CommTimeout:            time.Duration(o.CommTimeoutSeconds * float64(time.Second)),
+	}
+	switch strings.ToLower(o.Algorithm) {
+	case "", "serial":
+		cfg.Algorithm = elmocomp.Serial
+	case "parallel":
+		cfg.Algorithm = elmocomp.Parallel
+	case "dnc":
+		cfg.Algorithm = elmocomp.DivideAndConquer
+	default:
+		return cfg, fmt.Errorf("unknown algorithm %q (serial | parallel | dnc)", o.Algorithm)
+	}
+	switch strings.ToLower(o.Test) {
+	case "", "rank":
+		cfg.Test = elmocomp.RankTest
+	case "tree":
+		cfg.Test = elmocomp.CombinatorialTest
+	default:
+		return cfg, fmt.Errorf("unknown test %q (rank | tree)", o.Test)
+	}
+	return cfg, nil
+}
+
+// SubmitRequest is the POST /v1/jobs body: a built-in model name or an
+// inline network in reaction-equation format, plus run options.
+type SubmitRequest struct {
+	Model   string     `json:"model,omitempty"`
+	Network string     `json:"network,omitempty"`
+	Options RunOptions `json:"options"`
+}
+
+// JobStatus is the API view of a job, returned by the submit, status
+// and cancel endpoints.
+type JobStatus struct {
+	ID          string  `json:"id"`
+	Key         string  `json:"key"`
+	State       string  `json:"state"`
+	Cached      bool    `json:"cached,omitempty"`
+	Coalesced   int     `json:"coalesced,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Modes       int     `json:"modes,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Elapsed     float64 `json:"elapsed_seconds"`
+	Events      int     `json:"events"`
+}
+
+// statusOf converts a manager snapshot into the wire shape.
+func statusOf(st jobs.Status) JobStatus {
+	js := JobStatus{
+		ID:        st.ID,
+		Key:       st.Key,
+		State:     st.State.String(),
+		Cached:    st.Cached,
+		Coalesced: st.Coalesced,
+		Modes:     st.Modes,
+		Events:    st.Events,
+	}
+	if st.Err != nil {
+		js.Error = st.Err.Error()
+	}
+	if st.State == jobs.StateDone {
+		js.Fingerprint = fmt.Sprintf("%016x", st.Fingerprint)
+	}
+	end := st.Finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	js.Elapsed = end.Sub(st.Created).Seconds()
+	return js
+}
+
+// RunSummary is the machine-readable description of one completed
+// enumeration — the body of GET /v1/jobs/{id}/result and of
+// efmcalc -json.
+type RunSummary struct {
+	Network             string  `json:"network"`
+	Metabolites         int     `json:"metabolites"`
+	Reactions           int     `json:"reactions"`
+	Reduction           string  `json:"reduction"`
+	Modes               int     `json:"modes"`
+	CandidateModes      int64   `json:"candidate_modes"`
+	Fingerprint         string  `json:"fingerprint"`
+	PeakNodeBytes       int64   `json:"peak_node_bytes"`
+	PeakConcurrentBytes int64   `json:"peak_concurrent_bytes,omitempty"`
+	CommBytes           int64   `json:"comm_bytes,omitempty"`
+	CommWireBytes       int64   `json:"comm_wire_bytes,omitempty"`
+	CommMessages        int64   `json:"comm_messages,omitempty"`
+	ElapsedSeconds      float64 `json:"elapsed_seconds"`
+}
+
+// Summarize builds the shared summary from a finished run.
+func Summarize(net *elmocomp.Network, res *elmocomp.Result, elapsed time.Duration) RunSummary {
+	s := RunSummary{
+		Network:        net.Name(),
+		Metabolites:    net.NumInternalMetabolites(),
+		Reactions:      net.NumReactions(),
+		Reduction:      res.ReductionSummary(),
+		Modes:          res.Len(),
+		CandidateModes: res.CandidateModes,
+		Fingerprint:    fmt.Sprintf("%016x", res.Fingerprint()),
+		PeakNodeBytes:  res.PeakNodeBytes,
+		CommBytes:      res.CommBytes,
+		CommWireBytes:  res.CommWireBytes,
+		CommMessages:   res.CommMessages,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if res.Scheduler != nil {
+		s.PeakConcurrentBytes = res.PeakConcurrentBytes
+	}
+	return s
+}
+
+// ResultResponse is the body of GET /v1/jobs/{id}/result: the summary
+// plus, when requested, each mode's support as reaction names.
+type ResultResponse struct {
+	Job      JobStatus  `json:"job"`
+	Summary  RunSummary `json:"summary"`
+	Supports [][]string `json:"supports,omitempty"`
+}

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/cluster"
+	"elmocomp/internal/jobs"
+)
+
+func newTestServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	mgr := jobs.New(cfg)
+	ts := httptest.NewServer(New(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	return ts, mgr
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req SubmitRequest) (JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode
+}
+
+// awaitResult follows the event stream to the terminal state, then
+// fetches the result.
+func awaitResult(t *testing.T, ts *httptest.Server, id string) (ResultResponse, int) {
+	t.Helper()
+	streamEvents(t, ts, id)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result?supports=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr ResultResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return rr, resp.StatusCode
+}
+
+// streamEvents consumes the NDJSON event stream until the server closes
+// it at the terminal state, returning every event in order.
+func streamEvents(t *testing.T, ts *httptest.Server, id string) []jobs.Event {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var evs []jobs.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func varz(t *testing.T, ts *httptest.Server) jobs.Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobs.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEndToEndConcurrentJobs is the acceptance scenario: N concurrent
+// HTTP submissions over mixed requests, every result fingerprint equal
+// to a direct library call with the same options.
+func TestEndToEndConcurrentJobs(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 2, Queue: 16})
+
+	cases := []struct {
+		name string
+		req  SubmitRequest
+	}{
+		{"serial", SubmitRequest{Model: "toy"}},
+		{"dnc", SubmitRequest{Model: "toy", Options: RunOptions{Algorithm: "dnc", Nodes: 2}}},
+		{"tree", SubmitRequest{Model: "toy", Options: RunOptions{Test: "tree"}}},
+		{"split", SubmitRequest{Model: "toy", Options: RunOptions{Split: true}}},
+	}
+
+	// Direct library runs for the reference fingerprints.
+	want := make(map[string]string)
+	for _, c := range cases {
+		net, err := elmocomp.Builtin(c.req.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := c.req.Options.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := elmocomp.ComputeEFMs(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c.name] = fmt.Sprintf("%016x", res.Fingerprint())
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range cases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, code := postJob(t, ts, c.req)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("%s: submit status %d", c.name, code)
+				return
+			}
+			rr, code := awaitResult(t, ts, st.ID)
+			if code != http.StatusOK {
+				t.Errorf("%s: result status %d", c.name, code)
+				return
+			}
+			if rr.Summary.Fingerprint != want[c.name] {
+				t.Errorf("%s: fingerprint %s over HTTP, %s direct", c.name, rr.Summary.Fingerprint, want[c.name])
+			}
+			if rr.Summary.Modes == 0 || len(rr.Supports) != rr.Summary.Modes {
+				t.Errorf("%s: %d supports for %d modes", c.name, len(rr.Supports), rr.Summary.Modes)
+			}
+			if rr.Job.State != "done" {
+				t.Errorf("%s: job state %s", c.name, rr.Job.State)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCacheHitOverHTTP: resubmitting an identical request must be
+// served from the cache — 200 on submit, cached flag set, and the
+// runs_started counter unchanged.
+func TestCacheHitOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1})
+	req := SubmitRequest{Model: "toy"}
+
+	st1, code := postJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	rr1, code := awaitResult(t, ts, st1.ID)
+	if code != http.StatusOK {
+		t.Fatalf("first result status %d", code)
+	}
+	runsBefore := varz(t, ts).Counters.RunsStarted
+	if runsBefore != 1 {
+		t.Fatalf("runs_started = %d after one job", runsBefore)
+	}
+
+	st2, code := postJob(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("cache-hit submit status %d, want 200", code)
+	}
+	if !st2.Cached || st2.State != "done" {
+		t.Fatalf("cache-hit status %+v", st2)
+	}
+	if st2.Fingerprint != rr1.Summary.Fingerprint {
+		t.Errorf("cached fingerprint %s, original %s", st2.Fingerprint, rr1.Summary.Fingerprint)
+	}
+	after := varz(t, ts)
+	if after.Counters.RunsStarted != runsBefore {
+		t.Errorf("cache hit moved runs_started: %d → %d", runsBefore, after.Counters.RunsStarted)
+	}
+	if after.Counters.CacheHits != 1 {
+		t.Errorf("cache_hits = %d", after.Counters.CacheHits)
+	}
+}
+
+// blockingCompute returns a ComputeFunc that blocks until canceled or
+// released, standing in for a long enumeration.
+func blockingCompute(t *testing.T) (jobs.ComputeFunc, chan struct{}) {
+	t.Helper()
+	net, err := elmocomp.Builtin("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	return func(req jobs.Request, cancel <-chan struct{}) (*elmocomp.Result, error) {
+		select {
+		case <-release:
+			return res, nil
+		case <-cancel:
+			return nil, fmt.Errorf("driver unwound: %w", cluster.ErrCanceled)
+		}
+	}, release
+}
+
+// TestCancelOverHTTP: DELETE mid-run cancels the job, frees the worker
+// slot, and the result endpoint reports the latch cause.
+func TestCancelOverHTTP(t *testing.T) {
+	compute, release := blockingCompute(t)
+	ts, mgr := newTestServer(t, jobs.Config{Workers: 1, Compute: compute, CacheBytes: -1})
+
+	st, code := postJob(t, ts, SubmitRequest{Model: "toy"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+
+	evs := streamEvents(t, ts, st.ID)
+	last := evs[len(evs)-1]
+	if last.State != "canceled" || !strings.Contains(last.Msg, "canceled by client request") {
+		t.Errorf("terminal event %+v lacks the cancel cause", last)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusGone {
+		t.Errorf("result status for canceled job = %d, want 410", rresp.StatusCode)
+	}
+
+	// Slot freed: the next job runs to completion.
+	st2, code := postJob(t, ts, SubmitRequest{Model: "toy"})
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit status %d", code)
+	}
+	close(release)
+	evs2 := streamEvents(t, ts, st2.ID)
+	if evs2[len(evs2)-1].State != "done" {
+		t.Errorf("second job terminal event %+v", evs2[len(evs2)-1])
+	}
+}
+
+// TestEventsStreamShape: the stream opens with the queued state, ends
+// with a terminal state, and carries the driver's progress lines.
+func TestEventsStreamShape(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1})
+	st, code := postJob(t, ts, SubmitRequest{Model: "toy"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	evs := streamEvents(t, ts, st.ID)
+	if len(evs) < 2 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	if evs[0].Type != "state" || evs[0].State != "queued" || evs[0].Seq != 0 {
+		t.Errorf("first event %+v", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.State != "done" {
+		t.Errorf("terminal event %+v", last)
+	}
+	progress := 0
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Type == "progress" {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Error("no driver progress lines in the stream")
+	}
+	// The cursor works: re-reading from the last seq returns the tail.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, st.ID, len(evs)-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if n := bytes.Count(data, []byte("\n")); n != 1 {
+		t.Errorf("cursor read returned %d lines, want 1", n)
+	}
+}
+
+func TestSubmitValidationAndBackpressure(t *testing.T) {
+	compute, release := blockingCompute(t)
+	ts, mgr := newTestServer(t, jobs.Config{Workers: 1, Queue: 1, Compute: compute, CacheBytes: -1})
+	defer close(release)
+
+	bad := []SubmitRequest{
+		{},                                   // no model, no network
+		{Model: "toy", Network: "name x\n"},  // both
+		{Model: "no-such-model"},             // unknown builtin
+		{Network: "not a network"},           // parse failure
+		{Model: "toy", Options: RunOptions{Algorithm: "quantum"}},
+		{Model: "toy", Options: RunOptions{Test: "vibes"}},
+	}
+	for i, req := range bad {
+		if _, code := postJob(t, ts, req); code != http.StatusBadRequest {
+			t.Errorf("bad request %d: status %d, want 400", i, code)
+		}
+	}
+
+	// Inline networks work end to end.
+	inline := SubmitRequest{Network: "name inline\nR1 : A => B\nR2 : B => A\n"}
+	st, code := postJob(t, ts, inline)
+	if code != http.StatusAccepted {
+		t.Fatalf("inline submit status %d", code)
+	}
+	if st.ID == "" || st.State != "queued" && st.State != "running" {
+		t.Errorf("inline job status %+v", st)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("inline job never reached a worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the queue (worker holds the inline job), then overflow.
+	if _, code := postJob(t, ts, SubmitRequest{Model: "toy"}); code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit status %d", code)
+	}
+	if _, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{Tolerance: 1e-7}}); code != http.StatusTooManyRequests {
+		t.Errorf("overflow submit status %d, want 429", code)
+	}
+
+	// Unknown job IDs 404 on every job route.
+	for _, u := range []string{"/v1/jobs/zzz", "/v1/jobs/zzz/events", "/v1/jobs/zzz/result"} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", u, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}

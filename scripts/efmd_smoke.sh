@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the efmd job service: build the daemon and the
+# CLI, start the daemon, submit a job over HTTP, follow its event
+# stream, check the result fingerprint against a direct library run
+# (efmcalc -json emits the same summary schema), resubmit to hit the
+# content-addressed cache without a driver run, exercise cancellation,
+# and shut down gracefully on SIGTERM.
+#
+# Needs curl and jq. Exits non-zero on the first failed assertion.
+set -euo pipefail
+
+PORT="${EFMD_PORT:-9178}"
+BASE="http://127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build -o "$WORKDIR/efmd" ./cmd/efmd
+go build -o "$WORKDIR/efmcalc" ./cmd/efmcalc
+
+echo "== direct library run (reference)"
+"$WORKDIR/efmcalc" -model toy -json > "$WORKDIR/direct.json"
+REF_FP=$(jq -r .fingerprint "$WORKDIR/direct.json")
+REF_MODES=$(jq -r .modes "$WORKDIR/direct.json")
+echo "   $REF_MODES modes, fingerprint $REF_FP"
+
+echo "== start daemon on :$PORT"
+"$WORKDIR/efmd" -addr "127.0.0.1:$PORT" -concurrency 2 &
+DAEMON_PID=$!
+for i in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 100 ] && fail "daemon never became healthy"
+  sleep 0.1
+done
+
+echo "== submit job over HTTP"
+ID=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy"}' | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || fail "no job id in submit response"
+echo "   job $ID"
+
+echo "== stream events until terminal"
+curl -fsS "$BASE/v1/jobs/$ID/events" > "$WORKDIR/events.ndjson"
+FIRST_STATE=$(head -1 "$WORKDIR/events.ndjson" | jq -r .state)
+LAST_STATE=$(tail -1 "$WORKDIR/events.ndjson" | jq -r .state)
+[ "$FIRST_STATE" = queued ] || fail "stream opened with state $FIRST_STATE, want queued"
+[ "$LAST_STATE" = done ] || fail "stream ended with state $LAST_STATE, want done"
+echo "   $(wc -l < "$WORKDIR/events.ndjson") events, $FIRST_STATE -> $LAST_STATE"
+
+echo "== fetch result, compare with direct run"
+curl -fsS "$BASE/v1/jobs/$ID/result?supports=1" > "$WORKDIR/result.json"
+GOT_FP=$(jq -r .summary.fingerprint "$WORKDIR/result.json")
+GOT_MODES=$(jq -r .summary.modes "$WORKDIR/result.json")
+N_SUPPORTS=$(jq -r '.supports | length' "$WORKDIR/result.json")
+[ "$GOT_FP" = "$REF_FP" ] || fail "service fingerprint $GOT_FP != direct $REF_FP"
+[ "$GOT_MODES" = "$REF_MODES" ] || fail "service modes $GOT_MODES != direct $REF_MODES"
+[ "$N_SUPPORTS" = "$REF_MODES" ] || fail "$N_SUPPORTS supports for $REF_MODES modes"
+echo "   fingerprints match"
+
+echo "== resubmit: cache hit, no driver run"
+RUNS_BEFORE=$(curl -fsS "$BASE/varz" | jq -r .counters.runs_started)
+HIT=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy","options":{"algorithm":"dnc","nodes":2}}')
+[ "$(echo "$HIT" | jq -r .cached)" = true ] || fail "resubmission not served from cache: $HIT"
+[ "$(echo "$HIT" | jq -r .state)" = done ] || fail "cache-hit job not done"
+[ "$(echo "$HIT" | jq -r .fingerprint)" = "$REF_FP" ] || fail "cached fingerprint diverged"
+RUNS_AFTER=$(curl -fsS "$BASE/varz" | jq -r .counters.runs_started)
+[ "$RUNS_BEFORE" = "$RUNS_AFTER" ] || fail "cache hit started a driver run ($RUNS_BEFORE -> $RUNS_AFTER)"
+[ "$(curl -fsS "$BASE/varz" | jq -r .counters.cache_hits)" = 1 ] || fail "cache_hits counter != 1"
+echo "   served from cache (runs_started stayed $RUNS_AFTER; execution-shape options did not fork the key)"
+
+echo "== cancel a job"
+CID=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy","options":{"tolerance":1e-8}}' | jq -r .id)
+curl -fsS -X DELETE "$BASE/v1/jobs/$CID" >/dev/null
+CSTATE=$(curl -fsS "$BASE/v1/jobs/$CID/events" | tail -1 | jq -r .state)
+case "$CSTATE" in
+  canceled|done) echo "   job $CID ended $CSTATE" ;; # done if it outraced the DELETE
+  *) fail "canceled job ended in state $CSTATE" ;;
+esac
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$DAEMON_PID"
+for i in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  [ "$i" = 100 ] && fail "daemon did not exit after SIGTERM"
+  sleep 0.1
+done
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "PASS: efmd smoke"

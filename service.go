@@ -1,0 +1,150 @@
+package elmocomp
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/cluster"
+	"elmocomp/internal/core"
+	"elmocomp/internal/reduce"
+)
+
+// ErrCanceled matches errors from runs aborted through ComputeEFMsCancel
+// or a canceled ComputeEFMsContext context, whichever driver was running.
+var ErrCanceled = cluster.ErrCanceled
+
+// ComputeEFMsCancel computes the elementary flux modes of the network,
+// aborting the run as soon as cancel is closed. On cancellation the
+// returned error matches ErrCanceled; the serial engine stops at the next
+// iteration boundary, the distributed drivers trip their communicator
+// group's abort latch and unwind every node promptly. A nil cancel
+// behaves exactly like ComputeEFMs.
+func ComputeEFMsCancel(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error) {
+	return computeEFMs(n, cfg, cancel)
+}
+
+// ComputeEFMsContext is ComputeEFMsCancel driven by a context: the run
+// aborts when ctx is done, with an error matching ErrCanceled.
+func ComputeEFMsContext(ctx context.Context, n *Network, cfg Config) (*Result, error) {
+	if ctx.Done() == nil {
+		return computeEFMs(n, cfg, nil)
+	}
+	return computeEFMs(n, cfg, ctx.Done())
+}
+
+// Canonical renders the network in its byte-stable canonical form: the
+// parser input format with sorted external directives and normalized
+// equations, such that ParseNetworkString(n.Canonical()) reproduces the
+// identical string (the round-trip property the parser fuzz target
+// enforces). Two Network values describing the same reactions — however
+// the original source text was formatted — render identically, which
+// makes the canonical form the network half of a content-addressed
+// request key.
+func (n *Network) Canonical() string { return n.inner.String() }
+
+// RequestKey returns the content-addressed identity of a computation:
+// a hex SHA-256 over the network's canonical form and the result-shaping
+// subset of the configuration. Two requests with equal keys compute the
+// same canonical mode set, so a result cache and an in-flight request
+// coalescer can key on it.
+//
+// Execution-shape options that are proven result-neutral — Workers,
+// Nodes, GroupConcurrency, OverTCP, CommTimeout, DisableHybridPrefilter,
+// Progress — are excluded: a 1-worker serial run and an 8-node cluster
+// run of the same request share one key (the differential harness
+// enforces exactly this fingerprint equality). When MaxIntermediateModes
+// is 0 the algorithm choice itself is result-neutral too (every driver
+// enumerates the full set) and Algorithm, Qsub and Partition are
+// likewise normalized away; with a budget set they shape which classes
+// go unresolved, so they are part of the identity.
+func RequestKey(n *Network, cfg Config) string {
+	h := sha256.New()
+	io.WriteString(h, "elmocomp/request-key/v1\n")
+	canon := n.Canonical()
+	fmt.Fprintf(h, "network %d\n", len(canon))
+	io.WriteString(h, canon)
+
+	alg, qsub, partition := int(cfg.Algorithm), cfg.Qsub, strings.Join(cfg.Partition, ",")
+	if cfg.MaxIntermediateModes == 0 {
+		alg, qsub, partition = 0, 0, ""
+	} else {
+		if cfg.Algorithm != DivideAndConquer {
+			qsub, partition = 0, ""
+		} else if qsub == 0 && partition == "" {
+			qsub = 2 // the documented default partition size
+		}
+	}
+	tol := cfg.Tolerance
+	if tol == 0 {
+		tol = 1e-9 // the documented default zero tolerance
+	}
+	split := cfg.SplitReversible || cfg.Test == CombinatorialTest
+	fmt.Fprintf(h, "\nalg=%d qsub=%d partition=%q test=%d split=%v tol=%g maxmodes=%d keepdup=%v noroworder=%v norevlast=%v\n",
+		alg, qsub, partition, cfg.Test, split, tol, cfg.MaxIntermediateModes,
+		cfg.KeepDuplicateReactions, cfg.DisableRowOrdering, cfg.DisableReversibleLast)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodeSupports serializes the result's canonical support list into the
+// versioned mode-set byte stream (ModeSet.Encode): one bit-only mode per
+// EFM over the reduced network's columns. Together with
+// ResultFromEncodedSupports it is the storage codec of the job service's
+// content-addressed result cache — the payload is a pure function of the
+// computed mode set, independent of which driver produced it.
+func (r *Result) EncodeSupports() []byte {
+	q := 0
+	if r.red != nil {
+		q = r.red.N.Cols()
+	}
+	set := core.NewModeSet(q, q, nil)
+	set.Grow(len(r.supports))
+	var words []uint64
+	for _, b := range r.supports {
+		if cap(words) < b.Words() {
+			words = make([]uint64, b.Words())
+		}
+		words = words[:b.Words()]
+		for w := range words {
+			words[w] = b.Word(w)
+		}
+		set.AppendMode(words, nil, nil, 0)
+	}
+	return set.Encode()
+}
+
+// ResultFromEncodedSupports reconstructs a Result from a cached
+// EncodeSupports payload: the network is reduced exactly as a fresh run
+// would reduce it (KeepDuplicateReactions is honored), the payload is
+// decoded and validated against the reduction's column count, and the
+// supports are adopted verbatim. The returned Result serves supports,
+// fluxes, participation counts and verification like a computed one; its
+// run statistics (candidate counts, phases, iterations) are zero —
+// nothing was run. Callers holding the original run's fingerprint should
+// compare it against the reconstructed Result.Fingerprint() to detect
+// cache corruption end to end.
+func ResultFromEncodedSupports(n *Network, cfg Config, payload []byte) (*Result, error) {
+	red, err := reduce.Network(n.inner, reduce.Options{MergeDuplicates: !cfg.KeepDuplicateReactions})
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.DecodeModeSet(payload)
+	if err != nil {
+		return nil, err
+	}
+	if set.Q() != red.N.Cols() {
+		return nil, fmt.Errorf("elmocomp: cached supports span %d columns, reduction has %d — stale payload", set.Q(), red.N.Cols())
+	}
+	if set.FirstRow() != set.Q() || len(set.RevRows()) != 0 {
+		return nil, fmt.Errorf("elmocomp: payload is an intermediate mode set, not a support list")
+	}
+	supports := make([]bitset.Set, set.Len())
+	for i := range supports {
+		supports[i] = set.Support(i)
+	}
+	return &Result{network: n.inner, red: red, supports: supports}, nil
+}

@@ -1,0 +1,168 @@
+package elmocomp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRequestKeyCoalescesExecutionShape(t *testing.T) {
+	net, err := Builtin("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RequestKey(net, Config{})
+	if len(base) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(base))
+	}
+	// Execution-shape knobs must not fork the key.
+	same := []Config{
+		{Workers: 8},
+		{Algorithm: Parallel, Nodes: 4},
+		{Algorithm: DivideAndConquer, Qsub: 3, GroupConcurrency: 2},
+		{OverTCP: true, CommTimeout: 1e9},
+		{DisableHybridPrefilter: true},
+	}
+	for i, cfg := range same {
+		if got := RequestKey(net, cfg); got != base {
+			t.Errorf("config %d forked the key: %s vs %s", i, got, base)
+		}
+	}
+	// Result-shaping options must fork it.
+	diff := []Config{
+		{Tolerance: 1e-6},
+		{KeepDuplicateReactions: true},
+		{Test: CombinatorialTest},
+		{SplitReversible: true},
+		{MaxIntermediateModes: 10},
+		{DisableRowOrdering: true},
+	}
+	seen := map[string]int{base: -1}
+	for i, cfg := range diff {
+		got := RequestKey(net, cfg)
+		if j, dup := seen[got]; dup {
+			t.Errorf("configs %d and %d share a key", i, j)
+		}
+		seen[got] = i
+	}
+	// Under a budget, the driver shapes the result: algorithm re-enters
+	// the key.
+	a := RequestKey(net, Config{MaxIntermediateModes: 10})
+	b := RequestKey(net, Config{MaxIntermediateModes: 10, Algorithm: DivideAndConquer})
+	if a == b {
+		t.Error("budgeted serial and dnc requests share a key")
+	}
+	// Default qsub normalization: explicit 2 == unset, under a budget.
+	c := RequestKey(net, Config{MaxIntermediateModes: 10, Algorithm: DivideAndConquer, Qsub: 2})
+	if b != c {
+		t.Error("default Qsub not normalized")
+	}
+}
+
+func TestRequestKeyCanonicalNetwork(t *testing.T) {
+	// Same network, differently formatted source text.
+	a, err := ParseNetworkString("name n\nR1 : A + B => C\nR2 : C => Aext\nR3 : Aext => A + B\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseNetworkString("name n\n# comment\nR1 :  A  +  B  =>  C\nR2 : C => Aext\nR3 : Aext => A + B\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ:\n%q\n%q", a.Canonical(), b.Canonical())
+	}
+	if RequestKey(a, Config{}) != RequestKey(b, Config{}) {
+		t.Error("equal networks produced different keys")
+	}
+	if got, err := ParseNetworkString(a.Canonical()); err != nil || got.Canonical() != a.Canonical() {
+		t.Errorf("canonical form does not round-trip: %v", err)
+	}
+}
+
+func TestEncodeSupportsRoundTrip(t *testing.T) {
+	net, err := Builtin("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{{}, {Algorithm: DivideAndConquer, Nodes: 2}} {
+		res, err := ComputeEFMs(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := res.EncodeSupports()
+		back, err := ResultFromEncodedSupports(net, cfg, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != res.Len() {
+			t.Fatalf("mode count %d, want %d", back.Len(), res.Len())
+		}
+		if back.Fingerprint() != res.Fingerprint() {
+			t.Fatalf("fingerprint %x, want %x", back.Fingerprint(), res.Fingerprint())
+		}
+		// The reconstructed result must serve the full accessor surface.
+		if err := back.Verify(); err != nil {
+			t.Fatalf("reconstructed result fails verification: %v", err)
+		}
+		for i := 0; i < back.Len(); i++ {
+			if len(back.SupportNames(i)) == 0 {
+				t.Fatalf("mode %d has no support names", i)
+			}
+		}
+	}
+}
+
+func TestResultFromEncodedSupportsRejectsMismatch(t *testing.T) {
+	toy, _ := Builtin("toy")
+	yeast, _ := Builtin("yeast1")
+	res, err := ComputeEFMs(toy, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := res.EncodeSupports()
+	if _, err := ResultFromEncodedSupports(yeast, Config{}, payload); err == nil {
+		t.Error("payload for a different network accepted")
+	}
+	if _, err := ResultFromEncodedSupports(toy, Config{}, payload[:len(payload)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestComputeEFMsCancel(t *testing.T) {
+	net, err := Builtin("yeast1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	for name, cfg := range map[string]Config{
+		"serial":   {},
+		"parallel": {Algorithm: Parallel, Nodes: 2},
+		"dnc":      {Algorithm: DivideAndConquer, Nodes: 2},
+		"dnc-sched": {Algorithm: DivideAndConquer, GroupConcurrency: 2},
+	} {
+		_, err := ComputeEFMsCancel(net, cfg, closed)
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: got %v, want ErrCanceled", name, err)
+		}
+	}
+	// Nil cancel must still compute.
+	toy, _ := Builtin("toy")
+	if _, err := ComputeEFMsCancel(toy, Config{}, nil); err != nil {
+		t.Errorf("nil cancel: %v", err)
+	}
+}
+
+func TestComputeEFMsContext(t *testing.T) {
+	net, _ := Builtin("toy")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeEFMsContext(ctx, net, Config{}); !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled context: got %v, want ErrCanceled", err)
+	}
+	res, err := ComputeEFMsContext(context.Background(), net, Config{})
+	if err != nil || res.Len() == 0 {
+		t.Errorf("background context: res=%v err=%v", res, err)
+	}
+}
