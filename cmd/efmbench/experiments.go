@@ -615,6 +615,157 @@ func expDncSched(cfg benchConfig) error {
 	return nil
 }
 
+// memwallVariant is one run of the memwall experiment: the same pointed
+// workload under one mode-store tier.
+type memwallVariant struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	NsPerRow    int64   `json:"ns_per_row"`
+	// RowOverheadPct is the per-row slowdown against the flat baseline.
+	RowOverheadPct float64 `json:"row_overhead_pct_vs_flat"`
+	// PeakWorkingBytes is the within-row working peak (current set +
+	// survivor set, always flat); PeakHeldBytes the largest between-rounds
+	// resident footprint the store kept — the memory the tier saves.
+	PeakWorkingBytes int64 `json:"peak_working_bytes"`
+	PeakHeldBytes    int64 `json:"peak_held_bytes"`
+	FlatBytes        int64 `json:"flat_bytes"`
+	HeldBytes        int64 `json:"held_bytes"`
+	// BytesPerModeRatio is flat bytes per mode over stored bytes per mode
+	// (encoded bytes for the compressed tier, spill-file bytes for the
+	// spill tier).
+	BytesPerModeRatio float64 `json:"bytes_per_mode_ratio"`
+	Compressions      int64   `json:"compressions"`
+	Spills            int64   `json:"spills"`
+	SpillBytes        int64   `json:"spill_bytes"`
+	Modes             int     `json:"modes"`
+	Fingerprint       string  `json:"fingerprint"`
+}
+
+type memwallReport struct {
+	Benchmark   string           `json:"benchmark"`
+	Network     string           `json:"network"`
+	Problem     string           `json:"problem"`
+	LastRow     int              `json:"last_row"`
+	BudgetBytes int64            `json:"budget_bytes"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Variants    []memwallVariant `json:"variants"`
+}
+
+// expMemwall measures the between-rounds mode store against the memory
+// wall: the pointed Network I workload of the hybrid experiment run flat,
+// with every surviving set forced through the compressed tier, forced to
+// spill, and under an automatic budget of half the flat working peak.
+// Every variant must reproduce the flat run's fingerprint bit for bit —
+// the experiment fails otherwise. The table reports the bytes/mode
+// reduction and the per-row time overhead each tier pays for it.
+func expMemwall(cfg benchConfig) error {
+	net := model.Builtin("yeast1")
+	red, err := reduce.Network(net, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		return err
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+	if err != nil {
+		return err
+	}
+	rows := 22
+	if cfg.full {
+		rows = 27
+	}
+	lastRow := p.D + rows
+	report := memwallReport{
+		Benchmark:  "memwall",
+		Network:    net.Name,
+		Problem:    fmt.Sprintf("%dx%d pointed (all reversibles split), first %d rows", p.M(), p.Q(), rows),
+		LastRow:    lastRow,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	run := func(name string, opts core.Options) (*memwallVariant, error) {
+		opts.LastRow = lastRow
+		start := time.Now()
+		res, err := core.Run(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(start).Seconds()
+		v := &memwallVariant{
+			Name:             name,
+			WallSeconds:      wall,
+			NsPerRow:         int64(wall * 1e9 / float64(rows)),
+			PeakWorkingBytes: res.PeakBytes(),
+			PeakHeldBytes:    res.Store.PeakHeldBytes,
+			FlatBytes:        res.Store.FlatBytes,
+			HeldBytes:        res.Store.HeldBytes,
+			Compressions:     res.Store.Compressions,
+			Spills:           res.Store.Spills,
+			SpillBytes:       res.Store.SpillBytes,
+			Modes:            res.Modes.Len(),
+			Fingerprint:      fmt.Sprintf("%016x", res.Modes.Fingerprint()),
+		}
+		stored := v.HeldBytes + v.SpillBytes
+		if stored > 0 {
+			v.BytesPerModeRatio = float64(v.FlatBytes) / float64(stored)
+		}
+		return v, nil
+	}
+
+	flat, err := run("flat", core.Options{})
+	if err != nil {
+		return err
+	}
+	report.BudgetBytes = flat.PeakWorkingBytes / 2
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"compressed", core.Options{ForceStoreTier: core.TierCompressed}},
+		{"spill", core.Options{ForceStoreTier: core.TierSpill}},
+		{"auto-budget", core.Options{MemBudget: report.BudgetBytes}},
+	}
+	report.Variants = []memwallVariant{*flat}
+	for _, vr := range variants {
+		v, err := run(vr.name, vr.opts)
+		if err != nil {
+			return err
+		}
+		if v.Fingerprint != flat.Fingerprint || v.Modes != flat.Modes {
+			return fmt.Errorf("memwall: %s diverged — %d modes fp %s, flat %d modes fp %s",
+				vr.name, v.Modes, v.Fingerprint, flat.Modes, flat.Fingerprint)
+		}
+		v.RowOverheadPct = (v.WallSeconds - flat.WallSeconds) / flat.WallSeconds * 100
+		report.Variants = append(report.Variants, *v)
+	}
+
+	tb := stats.NewTable("mode-store tiers vs the flat baseline ("+report.Problem+")",
+		"variant", "wall (s)", "ns/row", "row overhead", "peak held", "bytes/mode ratio", "spills", "modes", "fingerprint")
+	for _, v := range report.Variants {
+		ratio := "-"
+		if v.BytesPerModeRatio > 0 {
+			ratio = fmt.Sprintf("%.2fx", v.BytesPerModeRatio)
+		}
+		tb.AddRow(v.Name, stats.Seconds(v.WallSeconds), stats.Count(v.NsPerRow),
+			fmt.Sprintf("%+.1f%%", v.RowOverheadPct), stats.Bytes(v.PeakHeldBytes),
+			ratio, stats.Count(v.Spills), stats.Count(int64(v.Modes)), v.Fingerprint)
+	}
+	tb.AddNote("fingerprints are bit-identical across tiers (gated: the experiment fails on divergence)")
+	tb.AddNote("acceptance targets: compressed bytes/mode ratio >= 2x at <= 15%% per-row overhead")
+	tb.AddNote("auto-budget runs with MemBudget = half the flat working peak (%s)", stats.Bytes(report.BudgetBytes))
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.memwallJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.memwallJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.memwallJSONPath)
+	}
+	return nil
+}
+
 // hybridRowEntry is one iteration of one variant in BENCH_hybrid.json.
 type hybridRowEntry struct {
 	Row         int     `json:"row"`

@@ -28,16 +28,17 @@ import (
 )
 
 type benchConfig struct {
-	full           bool
-	nodes          []int
-	workers        []int
-	groups         []int
-	budget         int
-	commTimeout    time.Duration
-	verbose        bool
-	jsonPath       string
-	hybridJSONPath string
-	dncJSONPath    string
+	full            bool
+	nodes           []int
+	workers         []int
+	groups          []int
+	budget          int
+	commTimeout     time.Duration
+	verbose         bool
+	jsonPath        string
+	hybridJSONPath  string
+	dncJSONPath     string
+	memwallJSONPath string
 }
 
 type experiment struct {
@@ -58,24 +59,26 @@ var experiments = []experiment{
 	{"workers", "shared-memory worker scaling of candidate generation (writes BENCH_efm.json)", expWorkers},
 	{"hybrid", "hybrid tree-prefilter vs rank-only elementarity on a pointed problem (writes BENCH_hybrid.json)", expHybrid},
 	{"dnc-sched", "divide-and-conquer subproblem scheduler across group counts (writes BENCH_dnc.json)", expDncSched},
+	{"memwall", "compressed and spill mode-store tiers vs flat on the pointed workload (writes BENCH_memwall.json)", expMemwall},
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (or 'all'); see -list")
-		list    = flag.Bool("list", false, "list experiments")
-		full    = flag.Bool("full", false, "run the complete yeast workloads (CPU-minutes to hours)")
-		nodes   = flag.String("nodes", "1,2,4,8,16", "node counts for scaling tables")
-		workers = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
-		jsonOut    = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
-		hybridJSON = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
-		dncJSON    = flag.String("dnc-json", "BENCH_dnc.json", "machine-readable output file for the dnc-sched experiment")
-		groups     = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
-		budget     = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
-		commTO     = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
-		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		verbose    = flag.Bool("v", false, "progress to stderr")
+		exp         = flag.String("exp", "all", "experiment to run (or 'all'); see -list")
+		list        = flag.Bool("list", false, "list experiments")
+		full        = flag.Bool("full", false, "run the complete yeast workloads (CPU-minutes to hours)")
+		nodes       = flag.String("nodes", "1,2,4,8,16", "node counts for scaling tables")
+		workers     = flag.String("workers", "1,2,4,8", "worker counts for the workers experiment")
+		jsonOut     = flag.String("json", "BENCH_efm.json", "machine-readable output file for the workers experiment")
+		hybridJSON  = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
+		dncJSON     = flag.String("dnc-json", "BENCH_dnc.json", "machine-readable output file for the dnc-sched experiment")
+		memwallJSON = flag.String("memwall-json", "BENCH_memwall.json", "machine-readable output file for the memwall experiment")
+		groups      = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
+		budget      = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
+		commTO      = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		verbose     = flag.Bool("v", false, "progress to stderr")
 	)
 	flag.Parse()
 
@@ -90,7 +93,8 @@ func main() {
 		fatal(err)
 	}
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
-		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON}
+		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON,
+		memwallJSONPath: *memwallJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

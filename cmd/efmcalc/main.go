@@ -40,6 +40,8 @@ func main() {
 		commTO    = flag.Duration("comm-timeout", 0, "abort the run when an inter-node collective stalls longer than this (0 = no deadline)")
 		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions during reduction")
 		maxModes  = flag.Int("max-modes", 0, "abort/re-split when an intermediate matrix exceeds this many columns")
+		memBudget = flag.String("mem-budget", "", "resident-byte budget per engine, e.g. 64M or 2G; over budget, surviving modes are compressed then spilled to disk (dnc re-splits first)")
+		spillDir  = flag.String("spill-dir", "", "directory for mode-store spill files (default: the OS temp dir)")
 		out       = flag.String("out", "", "write EFM supports to this file (default: count only)")
 		writeFlux = flag.Bool("flux", false, "include exact flux values in the output")
 		verify    = flag.Bool("verify", false, "re-verify every mode in exact arithmetic")
@@ -71,6 +73,14 @@ func main() {
 		MaxIntermediateModes:   *maxModes,
 		SplitReversible:        *split,
 		DisableHybridPrefilter: *noHybrid,
+		SpillDir:               *spillDir,
+	}
+	if *memBudget != "" {
+		b, err := stats.ParseBytes(*memBudget)
+		if err != nil {
+			fatal(fmt.Errorf("-mem-budget: %w", err))
+		}
+		cfg.MemBudgetBytes = b
 	}
 	switch *algorithm {
 	case "serial":
@@ -122,6 +132,14 @@ func main() {
 		if res.Scheduler != nil {
 			fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",
 				stats.Bytes(res.PeakConcurrentBytes), res.Scheduler.MaxActive)
+		}
+		if res.Store.Engaged() {
+			fmt.Printf("mode store: %d compressions, %d spills (%s to disk), peak held %s\n",
+				res.Store.Compressions, res.Store.Spills,
+				stats.Bytes(res.Store.SpillBytes), stats.Bytes(res.Store.PeakHeldBytes))
+		}
+		if res.MemResplits > 0 {
+			fmt.Printf("memory re-splits: %d\n", res.MemResplits)
 		}
 		if res.CommBytes > 0 {
 			fmt.Printf("communication: %s payload (%s on the wire) in %s messages\n",
@@ -205,8 +223,8 @@ func printStats(res *elmocomp.Result) {
 		tb.Render(os.Stdout)
 	}
 	if s := res.Scheduler; s != nil {
-		fmt.Printf("scheduler: %d enqueued, %d steals, %d re-splits, %d unresolved; peak queue %d, peak active groups %d\n",
-			s.Enqueued, s.Steals, s.Resplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
+		fmt.Printf("scheduler: %d enqueued, %d steals, %d re-splits (%d by memory), %d unresolved; peak queue %d, peak active groups %d\n",
+			s.Enqueued, s.Steals, s.Resplits, s.MemResplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
 	}
 	p := res.Phases
 	fmt.Printf("phases: gen=%s rank=%s comm=%s merge=%s\n",

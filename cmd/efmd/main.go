@@ -30,6 +30,7 @@ import (
 
 	"elmocomp/internal/jobs"
 	"elmocomp/internal/server"
+	"elmocomp/internal/stats"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func main() {
 		cacheMB      = flag.Int("cache-mb", 64, "result cache budget in MiB (0 disables)")
 		keepJobs     = flag.Int("keep-jobs", 256, "terminal jobs kept addressable by ID")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown before they are canceled")
+		memBudget    = flag.String("mem-budget", "", "default per-job resident-byte budget, e.g. 64M (jobs may pass their own mem_budget_bytes)")
+		maxResident  = flag.String("max-resident", "", "admission allowance over all in-flight jobs' budget reservations, e.g. 2G (429 when exceeded)")
+		spillDir     = flag.String("spill-dir", "", "directory for mode-store spill files (operator-only; default: the OS temp dir)")
 	)
 	flag.Parse()
 
@@ -47,11 +51,24 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
+	parseSize := func(name, v string) int64 {
+		if v == "" {
+			return 0
+		}
+		b, err := stats.ParseBytes(v)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		return b
+	}
 	mgr := jobs.New(jobs.Config{
-		Queue:      *queue,
-		Workers:    *concurrency,
-		CacheBytes: cacheBytes,
-		KeepJobs:   *keepJobs,
+		Queue:            *queue,
+		Workers:          *concurrency,
+		CacheBytes:       cacheBytes,
+		KeepJobs:         *keepJobs,
+		DefaultMemBudget: parseSize("-mem-budget", *memBudget),
+		MaxResidentBytes: parseSize("-max-resident", *maxResident),
+		SpillDir:         *spillDir,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

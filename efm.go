@@ -144,6 +144,32 @@ const (
 	CombinatorialTest
 )
 
+// StoreTier selects the between-rounds mode storage representation.
+type StoreTier int
+
+const (
+	// StoreAuto lets Config.MemBudgetBytes pick the tier per round.
+	StoreAuto StoreTier = iota
+	// StoreFlat always keeps surviving sets flat in RAM.
+	StoreFlat
+	// StoreCompressed always holds surviving sets delta-compressed.
+	StoreCompressed
+	// StoreSpill always writes surviving sets to temp files on disk.
+	StoreSpill
+)
+
+func coreStoreTier(t StoreTier) core.StoreTier {
+	switch t {
+	case StoreFlat:
+		return core.TierFlat
+	case StoreCompressed:
+		return core.TierCompressed
+	case StoreSpill:
+		return core.TierSpill
+	}
+	return core.TierAuto
+}
+
 // Config controls a computation. The zero value runs the serial
 // algorithm with the paper's defaults.
 type Config struct {
@@ -194,6 +220,23 @@ type Config struct {
 	// re-splitting (DivideAndConquer) when an intermediate mode matrix
 	// exceeds this column count. 0 means unlimited.
 	MaxIntermediateModes int
+	// MemBudgetBytes bounds the resident bytes each engine keeps between
+	// iteration rounds: surviving mode sets too large for the budget are
+	// held delta-compressed in RAM, or spilled to a temp file when even
+	// the compressed form does not fit. Under DivideAndConquer an
+	// over-budget class is additionally re-split (like a mode-count
+	// overflow) while re-split depth remains. 0 means unlimited (the
+	// store is bypassed entirely). The computed modes are bit-identical
+	// at every setting.
+	MemBudgetBytes int64
+	// SpillDir is the directory for spill files (default: the OS temp
+	// directory). Operator configuration — servers must not let remote
+	// clients choose this path.
+	SpillDir string
+	// StoreTier pins the between-rounds storage tier regardless of the
+	// budget (ablation and benchmarks). StoreAuto (default) lets
+	// MemBudgetBytes decide.
+	StoreTier StoreTier
 	// DisableRowOrdering / DisableReversibleLast switch off the paper's
 	// row-ordering heuristics (for ablation studies).
 	DisableRowOrdering    bool
@@ -248,6 +291,9 @@ type SubproblemStat struct {
 	CandidateModes int64
 	Skipped        bool
 	ReSplit        bool
+	// MemReSplit marks a re-split triggered by the memory budget rather
+	// than the intermediate mode count.
+	MemReSplit bool
 	// Unresolved marks a class that hit MaxIntermediateModes at the
 	// re-split depth limit; its EFMs are missing from the Result (the
 	// budgeted Table IV exploration mode).
@@ -263,12 +309,45 @@ type SchedulerStats struct {
 	// Enqueued counts work items pushed onto the class queue (initial
 	// classes plus two per re-split); Steals counts items pulled by a
 	// node group; Resplits counts budget overflows converted into new
-	// queue items; Unresolved counts classes abandoned at the re-split
-	// depth limit.
-	Enqueued, Steals, Resplits, Unresolved int64
+	// queue items; MemResplits is the subset of Resplits triggered by
+	// the memory budget rather than the mode count; Unresolved counts
+	// classes abandoned at the re-split depth limit.
+	Enqueued, Steals, Resplits, MemResplits, Unresolved int64
 	// MaxQueueDepth and MaxActive are the observed queue-length and
 	// concurrently-enumerating-group peaks.
 	MaxQueueDepth, MaxActive int
+}
+
+// StoreStats summarizes the between-rounds mode store's tier activity
+// (Config.MemBudgetBytes or a pinned Config.StoreTier; all zero when the
+// store was bypassed). Counters are deterministic for a given problem
+// and configuration, and sum over nodes and subproblems.
+type StoreStats struct {
+	// Compressions and Spills count the iteration rounds whose surviving
+	// set was held delta-compressed in RAM, respectively written to disk.
+	Compressions, Spills int64
+	// SpillBytes totals the encoded bytes written to spill files.
+	SpillBytes int64
+	// FlatBytes totals what an unbudgeted run would have kept resident
+	// between rounds; HeldBytes what actually stayed resident. Their
+	// ratio is the realized compression factor.
+	FlatBytes, HeldBytes int64
+	// PeakHeldBytes is the largest single between-rounds footprint.
+	PeakHeldBytes int64
+}
+
+// Engaged reports whether any round left the flat tier.
+func (s StoreStats) Engaged() bool { return s.Compressions > 0 || s.Spills > 0 }
+
+func storeStats(s core.StoreStats) StoreStats {
+	return StoreStats{
+		Compressions:  s.Compressions,
+		Spills:        s.Spills,
+		SpillBytes:    s.SpillBytes,
+		FlatBytes:     s.FlatBytes,
+		HeldBytes:     s.HeldBytes,
+		PeakHeldBytes: s.PeakHeldBytes,
+	}
 }
 
 // Result holds the computed elementary flux modes and the run's
@@ -302,6 +381,13 @@ type Result struct {
 	// across all concurrently enumerating node groups at any instant
 	// (scheduler runs only; 0 otherwise).
 	PeakConcurrentBytes int64
+	// Store summarizes the between-rounds store's compression and spill
+	// activity (zero when Config.MemBudgetBytes and Config.StoreTier were
+	// unset).
+	Store StoreStats
+	// MemResplits counts divide-and-conquer re-splits triggered by the
+	// memory budget (both drivers).
+	MemResplits int
 }
 
 // Fingerprint folds the result's canonical support list into a 64-bit
@@ -537,10 +623,13 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 		SplitAllReversible:    cfg.Test == CombinatorialTest || cfg.SplitReversible,
 	}
 	copts := core.Options{
-		Tol:           cfg.Tolerance,
-		MaxModes:      cfg.MaxIntermediateModes,
-		Workers:       cfg.Workers,
-		DisableHybrid: cfg.DisableHybridPrefilter,
+		Tol:            cfg.Tolerance,
+		MaxModes:       cfg.MaxIntermediateModes,
+		Workers:        cfg.Workers,
+		DisableHybrid:  cfg.DisableHybridPrefilter,
+		MemBudget:      cfg.MemBudgetBytes,
+		SpillDir:       cfg.SpillDir,
+		ForceStoreTier: coreStoreTier(cfg.StoreTier),
 	}
 	if cfg.Test == CombinatorialTest {
 		copts.Test = core.CombinatorialTest
@@ -572,6 +661,7 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 		res.supports = core.CanonicalSupports(run)
 		res.CandidateModes = run.TotalPairs()
 		res.PeakNodeBytes = run.PeakBytes()
+		res.Store = storeStats(run.Store)
 		res.Iterations = iterStats(run.Stats, red, p)
 		res.Phases = phasesFromStats(run.Stats)
 	case Parallel:
@@ -590,6 +680,7 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 		res.supports = core.CanonicalSupports(run.Result)
 		res.CandidateModes = run.TotalPairs()
 		res.PeakNodeBytes = run.PeakNodeBytes
+		res.Store = storeStats(run.Result.Store)
 		res.CommBytes = run.Comm.Bytes
 		res.CommWireBytes = run.Comm.WireBytes
 		res.CommMessages = run.Comm.Messages
@@ -628,11 +719,14 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 		res.CandidateModes = run.TotalPairs()
 		res.PeakNodeBytes = run.PeakNodeBytes()
 		res.PeakConcurrentBytes = run.PeakConcurrentBytes
+		res.Store = storeStats(run.Store())
+		res.MemResplits = run.MemResplits()
 		if run.Sched != nil {
 			res.Scheduler = &SchedulerStats{
 				Enqueued:      run.Sched.Enqueued,
 				Steals:        run.Sched.Steals,
 				Resplits:      run.Sched.Resplits,
+				MemResplits:   run.Sched.MemResplits,
 				Unresolved:    run.Sched.Unresolved,
 				MaxQueueDepth: run.Sched.MaxQueueDepth,
 				MaxActive:     run.Sched.MaxActive,
@@ -704,6 +798,7 @@ func subStats(run *dnc.Result, red *reduce.Reduced) []SubproblemStat {
 			CandidateModes: s.Pairs,
 			Skipped:        s.Skipped,
 			ReSplit:        len(s.Children) > 0,
+			MemReSplit:     s.MemResplit,
 			Unresolved:     s.Unresolved,
 			Seconds: PhaseSeconds{
 				s.Phases.GenCand, s.Phases.RankTest,

@@ -51,6 +51,31 @@ type Options struct {
 	// MaxModes aborts the run with an error if an intermediate set
 	// exceeds this many columns (a memory guard). 0 means unlimited.
 	MaxModes int
+	// MemBudget, in bytes, bounds what the engine keeps resident
+	// BETWEEN iteration rounds: once the surviving mode set outgrows
+	// the budget's headroom the store compresses it in RAM, and past
+	// that spills it to disk, re-materializing it flat before the next
+	// row. Results are bit-identical at every setting. 0 means
+	// unbudgeted (always flat). The within-row working peak (current
+	// set + candidates + successor, all flat) is not reduced — bounding
+	// it is the divide-and-conquer driver's job, which re-splits via
+	// StrictMemBudget.
+	MemBudget int64
+	// StrictMemBudget makes Hold fail with ErrMemBudget (matching
+	// ErrBudget) when a surviving set's FLAT footprint exceeds
+	// MemBudget, instead of degrading to compression or spill. Set by
+	// the dnc driver while re-split depth remains, so over-budget
+	// subproblems split rather than thrash; standalone callers leave it
+	// false.
+	StrictMemBudget bool
+	// SpillDir is where the spill tier writes its temp files
+	// (os.TempDir when empty). Files are removed on materialization and
+	// on every abort/cancel path.
+	SpillDir string
+	// ForceStoreTier pins the between-rounds store representation
+	// regardless of budget — ablation and benchmarking only; results
+	// are identical at every tier.
+	ForceStoreTier StoreTier
 	// DisableHybrid switches off the hybrid fast path: under RankTest on
 	// a pointed problem (no reversible rows) the engine normally builds
 	// the per-row bit-pattern tree and uses the combinatorial superset
@@ -116,6 +141,9 @@ type Result struct {
 	// ==q), these are the elementary flux modes in permuted index space.
 	Modes *ModeSet
 	Stats []IterStats
+	// Store counts the between-rounds store's tier activity (zero for
+	// unbudgeted runs — the store is then an inert pass-through).
+	Store StoreStats
 }
 
 // TotalPairs sums the candidate modes generated across iterations (the
@@ -184,13 +212,17 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 			}
 		}
 	}
-	set := InitialModeSet(p, opts.tol())
 	last := opts.LastRow
 	if last <= 0 || last > p.Q() {
 		last = p.Q()
 	}
-	res := &Result{Problem: p, Modes: set}
+	res := &Result{Problem: p}
 	pool := NewPool(p, opts.workers())
+	store := NewStoreManager(opts)
+	defer store.Release()
+	if err := store.Hold(InitialModeSet(p, opts.tol())); err != nil {
+		return nil, err
+	}
 	for row := p.D; row < last; row++ {
 		if opts.Cancel != nil {
 			select {
@@ -199,19 +231,33 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 			default:
 			}
 		}
+		set, err := store.Materialize()
+		if err != nil {
+			return nil, err
+		}
 		it := BeginRow(p, set, row, opts)
 		cands := pool.GenerateRange(it, 0, it.Pairs(), &it.Stats)
 		next, err := pool.AssembleNext(it, cands)
 		if err != nil {
 			return nil, err
 		}
-		set = next
-		res.Modes = set
 		res.Stats = append(res.Stats, it.Stats)
 		if opts.Trace != nil {
-			opts.Trace(it.Stats, set)
+			opts.Trace(it.Stats, next)
+		}
+		// Hold drops the flat reference on the non-flat tiers; `set` and
+		// `next` die with this iteration, so only the encoded (or
+		// spilled) form stays resident across the gap to the next row.
+		if err := store.Hold(next); err != nil {
+			return nil, err
 		}
 	}
+	final, err := store.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	res.Modes = final
+	res.Store = store.Stats()
 	return res, nil
 }
 

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package core
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile always fails on platforms without a wired mapping path; the
+// spill tier falls back to a plain read.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("core: mmap unavailable on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

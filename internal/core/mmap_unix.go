@@ -1,0 +1,20 @@
+//go:build unix
+
+package core
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The caller owns the mapping
+// and must munmapFile it before closing the file.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, errors.New("core: nothing to map")
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

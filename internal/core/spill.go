@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// spillFile is one on-disk compressed mode-set stream: the spill tier's
+// backing storage between iteration rounds. The file holds exactly one
+// EncodeCompressed payload; reading it back prefers a read-only mmap
+// (the kernel pages blocks in on demand and can discard them under
+// pressure) and falls back to a plain read where mapping is
+// unavailable. The file is unlinked by release — the store manager
+// releases on every re-Hold, on Materialize, and from the engine's
+// deferred cleanup, so aborted and canceled runs leave nothing behind.
+type spillFile struct {
+	f      *os.File
+	path   string
+	size   int64
+	mapped []byte
+}
+
+// newSpillFile writes data to a fresh temp file in dir (os.TempDir when
+// empty). On any write error the partial file is removed before
+// returning.
+func newSpillFile(dir string, data []byte) (*spillFile, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "elmocomp-spill-*.efmc")
+	if err != nil {
+		return nil, err
+	}
+	sf := &spillFile{f: f, path: f.Name(), size: int64(len(data))}
+	if _, err := f.Write(data); err != nil {
+		sf.release()
+		return nil, fmt.Errorf("write spill %s: %w", sf.path, err)
+	}
+	return sf, nil
+}
+
+// bytes returns the file's contents, mmapped when possible. The slice
+// is only valid until release. The on-disk size is re-checked first: a
+// truncated or grown file is corruption and must fail as an error, not
+// fault the process through a mapping past EOF.
+func (s *spillFile) bytes() ([]byte, error) {
+	st, err := s.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("stat spill %s: %w", s.path, err)
+	}
+	if st.Size() != s.size {
+		return nil, fmt.Errorf("spill %s is %d bytes on disk, wrote %d", s.path, st.Size(), s.size)
+	}
+	if s.size == 0 {
+		return nil, nil
+	}
+	if data, err := mmapFile(s.f, int(s.size)); err == nil {
+		s.mapped = data
+		return data, nil
+	}
+	buf := make([]byte, s.size)
+	if _, err := s.f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("read spill %s: %w", s.path, err)
+	}
+	return buf, nil
+}
+
+// release unmaps, closes and removes the file. Idempotent enough for
+// error paths: every step runs regardless of earlier failures.
+func (s *spillFile) release() error {
+	first := error(nil)
+	if s.mapped != nil {
+		first = munmapFile(s.mapped)
+		s.mapped = nil
+	}
+	if err := s.f.Close(); first == nil {
+		first = err
+	}
+	if err := os.Remove(s.path); first == nil && !os.IsNotExist(err) {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchModeStore measures one Hold+Materialize round trip of the
+// yeast mid-run surviving set through a forced store tier — the exact
+// between-rounds custody cycle the engine adds per row under a memory
+// budget. b.SetBytes reports throughput against the flat footprint, and
+// the compressed ratio metric is the realized FlatBytes/HeldBytes.
+func benchModeStore(b *testing.B, tier StoreTier) {
+	_, set := yeastMidRun(b)
+	flatBytes := set.MemoryBytes()
+	m := NewStoreManager(Options{ForceStoreTier: tier, SpillDir: b.TempDir()})
+	defer m.Release()
+	b.SetBytes(flatBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Hold(set); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := m.Stats()
+	if st.HeldBytes > 0 {
+		b.ReportMetric(float64(st.FlatBytes)/float64(st.HeldBytes), "ratio")
+	}
+	b.ReportMetric(float64(flatBytes)/float64(set.Len()), "B/mode-flat")
+}
+
+func BenchmarkModeStoreFlat(b *testing.B)       { benchModeStore(b, TierFlat) }
+func BenchmarkModeStoreCompressed(b *testing.B) { benchModeStore(b, TierCompressed) }
+func BenchmarkModeStoreSpill(b *testing.B)      { benchModeStore(b, TierSpill) }

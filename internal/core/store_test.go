@@ -1,0 +1,401 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/reduce"
+)
+
+// yeastMidRun caches a mid-run state of the pointed (all reversibles
+// split) Network I problem — the realistic workload the compression
+// ratio is judged on — so the store tests pay for the 18-row run once.
+var (
+	yeastMidOnce sync.Once
+	yeastMid     struct {
+		p   *nullspace.Problem
+		set *ModeSet
+		err error
+	}
+)
+
+func yeastMidRun(tb testing.TB) (*nullspace.Problem, *ModeSet) {
+	tb.Helper()
+	yeastMidOnce.Do(func() {
+		red, err := reduce.Network(model.YeastI(), reduce.Options{MergeDuplicates: true})
+		if err != nil {
+			yeastMid.err = err
+			return
+		}
+		p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{SplitAllReversible: true})
+		if err != nil {
+			yeastMid.err = err
+			return
+		}
+		res, err := Run(p, Options{LastRow: p.D + 18})
+		if err != nil {
+			yeastMid.err = err
+			return
+		}
+		yeastMid.p, yeastMid.set = p, res.Modes
+	})
+	if yeastMid.err != nil {
+		tb.Fatal(yeastMid.err)
+	}
+	return yeastMid.p, yeastMid.set
+}
+
+// storeTestSets spans the format's corners: an empty set with revRows,
+// the toy initial kernel set, a mid-run toy set (revRows and shifted
+// tails) and the mid-run yeast set (hundreds of columns, many blocks).
+func storeTestSets(t *testing.T) map[string]*ModeSet {
+	t.Helper()
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{LastRow: p.Q() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, yeast := yeastMidRun(t)
+	return map[string]*ModeSet{
+		"empty":     NewModeSet(10, 3, []int{1}),
+		"initial":   InitialModeSet(p, 1e-9),
+		"midrun":    res.Modes,
+		"yeast-mid": yeast,
+	}
+}
+
+func TestCompressedCodecRoundTrip(t *testing.T) {
+	for name, set := range storeTestSets(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, blockSize := range []int{1, 3, DefaultStoreBlock} {
+				enc := EncodeCompressedBlocks(set, blockSize)
+				dec, err := DecodeCompressed(enc)
+				if err != nil {
+					t.Fatalf("block=%d: decode: %v", blockSize, err)
+				}
+				if dec.Len() != set.Len() || dec.Fingerprint() != set.Fingerprint() {
+					t.Fatalf("block=%d: round trip drifted: %d/%016x modes, want %d/%016x",
+						blockSize, dec.Len(), dec.Fingerprint(), set.Len(), set.Fingerprint())
+				}
+				if !bytes.Equal(dec.Encode(), set.Encode()) {
+					t.Fatalf("block=%d: flat re-encode differs", blockSize)
+				}
+				if back := EncodeCompressedBlocks(dec, blockSize); !bytes.Equal(back, enc) {
+					t.Fatalf("block=%d: compressed re-encode differs", blockSize)
+				}
+			}
+		})
+	}
+}
+
+func TestCompressedSupportSizesSidecar(t *testing.T) {
+	for name, set := range storeTestSets(t) {
+		enc := EncodeCompressed(set)
+		sizes, err := CompressedSupportSizes(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sizes) != set.Len() {
+			t.Fatalf("%s: %d sidecar sizes, want %d", name, len(sizes), set.Len())
+		}
+		for i, got := range sizes {
+			if want := set.SupportSize(i); got != want {
+				t.Fatalf("%s: mode %d sidecar support size %d, want %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCompressedRatioYeast pins the acceptance bar: the delta encoding
+// must at least halve the between-rounds footprint on the yeast hybrid
+// workload.
+func TestCompressedRatioYeast(t *testing.T) {
+	_, set := yeastMidRun(t)
+	enc := EncodeCompressed(set)
+	flat := set.MemoryBytes()
+	ratio := float64(flat) / float64(len(enc))
+	t.Logf("yeast mid-run: %d modes, flat %d B (%.1f B/mode), compressed %d B (%.1f B/mode), ratio %.2fx",
+		set.Len(), flat, float64(flat)/float64(set.Len()), len(enc), float64(len(enc))/float64(set.Len()), ratio)
+	if ratio < 2 {
+		t.Fatalf("compression ratio %.2fx below the 2x bar", ratio)
+	}
+}
+
+func TestStoreBudgetStateMachine(t *testing.T) {
+	_, set := yeastMidRun(t)
+	flat := set.MemoryBytes()
+	enc := int64(len(EncodeCompressed(set)))
+	if enc >= flat/2 {
+		t.Fatalf("test premise broken: encoded %d B not under half of flat %d B", enc, flat)
+	}
+
+	t.Run("inactive-pass-through", func(t *testing.T) {
+		m := NewStoreManager(Options{})
+		defer m.Release()
+		if m.Active() {
+			t.Fatal("zero-options store claims to be active")
+		}
+		if err := m.Hold(set); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != set {
+			t.Fatal("inactive store must alias, not copy")
+		}
+		if st := m.Stats(); st != (StoreStats{}) {
+			t.Fatalf("inactive store kept stats: %+v", st)
+		}
+	})
+
+	t.Run("flat-with-headroom", func(t *testing.T) {
+		m := NewStoreManager(Options{MemBudget: 2 * flat})
+		defer m.Release()
+		if err := m.Hold(set); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.Engaged() || st.FlatBytes != flat || st.HeldBytes != flat {
+			t.Fatalf("expected a flat hold, got %+v", st)
+		}
+		if got, _ := m.Materialize(); got != set {
+			t.Fatal("flat tier must alias the held set")
+		}
+	})
+
+	t.Run("compressed-when-tight", func(t *testing.T) {
+		m := NewStoreManager(Options{MemBudget: flat + flat/2})
+		defer m.Release()
+		if err := m.Hold(set); err != nil {
+			t.Fatal(err)
+		}
+		st := m.Stats()
+		if st.Compressions != 1 || st.Spills != 0 || st.HeldBytes != enc {
+			t.Fatalf("expected one compression holding %d B, got %+v", enc, st)
+		}
+		if rb := m.ResidentBytes(); rb != enc {
+			t.Fatalf("resident %d B, want the encoded %d B", rb, enc)
+		}
+		got, err := m.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == set || got.Fingerprint() != set.Fingerprint() {
+			t.Fatal("compressed materialization must rebuild an identical set")
+		}
+	})
+
+	t.Run("spill-when-over", func(t *testing.T) {
+		dir := t.TempDir()
+		m := NewStoreManager(Options{MemBudget: flat, SpillDir: dir})
+		defer m.Release()
+		if err := m.Hold(set); err != nil {
+			t.Fatal(err)
+		}
+		st := m.Stats()
+		if st.Spills != 1 || st.SpillBytes != enc || st.HeldBytes != 0 {
+			t.Fatalf("expected one %d-byte spill, got %+v", enc, st)
+		}
+		if rb := m.ResidentBytes(); rb != 0 {
+			t.Fatalf("spilled store still resident: %d B", rb)
+		}
+		got, err := m.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != set.Fingerprint() {
+			t.Fatal("spill materialization drifted")
+		}
+		if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+			t.Fatalf("spill file survived materialization: %v", ents)
+		}
+	})
+
+	t.Run("strict-over-budget", func(t *testing.T) {
+		m := NewStoreManager(Options{MemBudget: flat - 1, StrictMemBudget: true})
+		defer m.Release()
+		err := m.Hold(set)
+		if !errors.Is(err, ErrMemBudget) || !errors.Is(err, ErrBudget) {
+			t.Fatalf("want ErrMemBudget (matching ErrBudget), got %v", err)
+		}
+	})
+
+	t.Run("strict-under-budget", func(t *testing.T) {
+		m := NewStoreManager(Options{MemBudget: flat + flat/2, StrictMemBudget: true})
+		defer m.Release()
+		if err := m.Hold(set); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.Compressions != 1 {
+			t.Fatalf("strict mode must still compress under budget, got %+v", st)
+		}
+	})
+
+	t.Run("wide-set-stays-flat", func(t *testing.T) {
+		wide := NewModeSet(maxStoreQ+1, maxStoreQ+1, nil)
+		m := NewStoreManager(Options{ForceStoreTier: TierCompressed})
+		defer m.Release()
+		if err := m.Hold(wide); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.Engaged() {
+			t.Fatalf("sets beyond maxStoreQ must fall back to flat, got %+v", st)
+		}
+	})
+
+	t.Run("empty-store", func(t *testing.T) {
+		m := NewStoreManager(Options{})
+		if _, err := m.Materialize(); err == nil {
+			t.Fatal("materializing an empty store must fail")
+		}
+		m.Release()
+		m.Release() // idempotent
+	})
+}
+
+// TestStoreTierEquivalence is the engine-level determinism contract:
+// every tier and budget produces the byte-identical mode set.
+func TestStoreTierEquivalence(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, wantLen := base.Modes.Fingerprint(), base.Modes.Len()
+	if base.Store.Engaged() {
+		t.Fatalf("unbudgeted run engaged the store: %+v", base.Store)
+	}
+
+	cases := []struct {
+		name    string
+		opts    Options
+		engaged bool
+	}{
+		{"forced-flat", Options{ForceStoreTier: TierFlat}, false},
+		{"forced-compressed", Options{ForceStoreTier: TierCompressed}, true},
+		{"forced-spill", Options{ForceStoreTier: TierSpill}, true},
+		{"tiny-budget", Options{MemBudget: 1}, true},
+		{"huge-budget", Options{MemBudget: 1 << 40}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.opts.SpillDir = dir
+			res, err := Run(p, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Modes.Len() != wantLen || res.Modes.Fingerprint() != wantFP {
+				t.Fatalf("%d modes / %016x, flat run found %d / %016x",
+					res.Modes.Len(), res.Modes.Fingerprint(), wantLen, wantFP)
+			}
+			if res.Store.Engaged() != tc.engaged {
+				t.Fatalf("store engagement = %v, want %v (stats %+v)", res.Store.Engaged(), tc.engaged, res.Store)
+			}
+			if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+				t.Fatalf("spill files survived a completed run: %v", ents)
+			}
+		})
+	}
+}
+
+// TestCorruptSpillFailsCleanly damages the spill file between Hold and
+// Materialize in every structurally distinct way: the run must fail
+// loudly (never decode into plausible nonsense) and the temp file must
+// still be cleaned up.
+func TestCorruptSpillFailsCleanly(t *testing.T) {
+	_, set := yeastMidRun(t)
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"bad-magic", func(d []byte) []byte { d[0] ^= 0xFF; return d }},
+		{"bad-header", func(d []byte) []byte { d[20] ^= 0xFF; return d }}, // mode count
+		{"bad-block-length", func(d []byte) []byte { d[storeHeaderLen] ^= 0x01; return d }},
+		{"bad-checksum", func(d []byte) []byte { d[storeHeaderLen+5] ^= 0x01; return d }},
+		{"flipped-payload", func(d []byte) []byte { d[len(d)-3] ^= 0x40; return d }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := NewStoreManager(Options{ForceStoreTier: TierSpill, SpillDir: dir})
+			defer m.Release()
+			if err := m.Hold(set); err != nil {
+				t.Fatal(err)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil || len(ents) != 1 {
+				t.Fatalf("want exactly one spill file, got %v (%v)", ents, err)
+			}
+			path := filepath.Join(dir, ents[0].Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Materialize(); err == nil {
+				t.Fatal("materializing a damaged spill must fail")
+			}
+			if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+				t.Fatalf("damaged spill file not cleaned up: %v", ents)
+			}
+		})
+	}
+}
+
+// TestSpillCleanupOnCancel cancels a spilling run between rounds: the
+// engine's deferred release must remove the on-disk state.
+func TestSpillCleanupOnCancel(t *testing.T) {
+	red, err := reduce.Network(model.Toy(), reduce.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cancel := make(chan struct{})
+	rows := 0
+	_, err = Run(p, Options{
+		ForceStoreTier: TierSpill,
+		SpillDir:       dir,
+		Cancel:         cancel,
+		Trace: func(IterStats, *ModeSet) {
+			if rows++; rows == 2 {
+				close(cancel)
+			}
+		},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("canceled run leaked spill files: %v", ents)
+	}
+}

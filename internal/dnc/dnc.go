@@ -87,6 +87,13 @@ type Subproblem struct {
 	PeakNodeBytes int64
 	// Phases are the inner parallel run's critical-path phase times.
 	Phases parallel.PhaseTimes
+	// Store holds the inner run's between-rounds store counters (summed
+	// over the group's nodes).
+	Store core.StoreStats
+	// MemResplit marks a re-split triggered by the memory budget (the
+	// surviving set's flat footprint over core.Options.MemBudget) rather
+	// than the intermediate mode-count budget.
+	MemResplit bool
 	// Children holds the re-split subproblems when the budget was
 	// exceeded (Supports is then nil at this level).
 	Children []*Subproblem
@@ -184,6 +191,42 @@ func (r *Result) PeakNodeBytes() int64 {
 		walk(s)
 	}
 	return m
+}
+
+// Store sums the between-rounds store counters over every subproblem —
+// the run-wide compression and spill activity a memory budget produced.
+func (r *Result) Store() core.StoreStats {
+	var t core.StoreStats
+	var walk func(s *Subproblem)
+	walk = func(s *Subproblem) {
+		t.Add(s.Store)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range r.Subproblems {
+		walk(s)
+	}
+	return t
+}
+
+// MemResplits counts the re-splits triggered by the memory budget (both
+// drivers; the scheduler additionally reports the count in Sched).
+func (r *Result) MemResplits() int {
+	n := 0
+	var walk func(s *Subproblem)
+	walk = func(s *Subproblem) {
+		if s.MemResplit {
+			n++
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range r.Subproblems {
+		walk(s)
+	}
+	return n
 }
 
 // Run executes Algorithm 3 on a reduced stoichiometry (full row rank)
@@ -379,6 +422,7 @@ func enumerate(sub *Subproblem, pr *prepared, copts parallel.Options, fullCols i
 	sub.Pairs = run.TotalPairs()
 	sub.PeakNodeBytes = run.PeakNodeBytes
 	sub.Phases = run.MaxPhases()
+	sub.Store = run.Result.Store
 	sub.Supports = extract(run.Result, pr.p, pr.keep, pr.nzfLocal, fullCols)
 	return nil
 }
@@ -393,13 +437,53 @@ func solve(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int, 
 		sub.Skipped = true
 		return sub, nil
 	}
-	if err := enumerate(sub, pr, opts.Parallel, N.Cols()); err != nil {
-		// Only a blown mode budget triggers adaptive re-splitting; any
-		// other failure (a node crash, a communication timeout, an
-		// aborted group) is a fault, not a size signal, and propagates.
+	copts := opts.Parallel
+	// The memory budget is strict only while re-split depth remains: an
+	// over-budget surviving set then surfaces as core.ErrMemBudget and
+	// refines the class, exactly like a mode-count overflow. At the depth
+	// limit the store degrades to compression and spilling instead, so
+	// the class still completes (result-identical, just slower).
+	copts.Core.StrictMemBudget = copts.Core.MemBudget > 0 && depth < opts.MaxDepth
+	if err := enumerate(sub, pr, copts, N.Cols()); err != nil {
+		// Only a blown budget (mode count or strict memory) triggers
+		// adaptive re-splitting; any other failure (a node crash, a
+		// communication timeout, an aborted group) is a fault, not a
+		// size signal, and propagates.
 		if errors.Is(err, core.ErrBudget) {
+			memTriggered := errors.Is(err, core.ErrMemBudget)
 			if depth < opts.MaxDepth {
-				return resplit(N, rev, partition, id, depth, opts, sub)
+				res, rerr := resplit(N, rev, partition, id, depth, opts, sub)
+				if rerr == nil {
+					sub.MemResplit = memTriggered
+					return res, nil
+				}
+				if !memTriggered || !errors.Is(rerr, errNoRefinement) {
+					return nil, rerr
+				}
+				// A memory re-split with no reaction left to refine by:
+				// fall through to the soft retry — spilling beats failing.
+			}
+			if memTriggered {
+				// Depth limit reached or partition unrefinable: drop the
+				// strictness and let the store compress and spill the
+				// class to completion. Results are identical either way.
+				copts.Core.StrictMemBudget = false
+				if err := enumerate(sub, pr, copts, N.Cols()); err != nil {
+					if errors.Is(err, core.ErrBudget) {
+						// The soft retry can still blow the mode-count
+						// budget; that is a genuine unresolved class.
+						sub.Unresolved = true
+						if opts.Progress != nil {
+							opts.Progress(sub)
+						}
+						return sub, nil
+					}
+					return nil, err
+				}
+				if opts.Progress != nil {
+					opts.Progress(sub)
+				}
+				return sub, nil
 			}
 			// Budget exhausted at the depth limit: report the class as
 			// unresolved instead of failing the whole run, so budgeted
@@ -436,6 +520,11 @@ func resplit(N *ratmat.Matrix, rev []bool, partition []int, id uint64, depth int
 	return sub, nil
 }
 
+// errNoRefinement marks a partition that cannot grow: every pivot
+// reaction is already in it. Mode-count re-splits fail on it; memory
+// re-splits fall back to the soft-budget spill path.
+var errNoRefinement = errors.New("dnc: no reaction left to refine the partition")
+
 // nextPartitionReaction picks the refinement reaction: the last pivot
 // row of the full reordered kernel not already in the partition (the
 // paper extended {R54r,R90r,R60r} by R22r, its next-to-last row).
@@ -454,7 +543,7 @@ func nextPartitionReaction(N *ratmat.Matrix, rev []bool, partition []int) (int, 
 			return c, nil
 		}
 	}
-	return -1, fmt.Errorf("dnc: no reaction left to refine the partition")
+	return -1, errNoRefinement
 }
 
 // extract applies Proposition 1: keep intermediate columns with non-zero

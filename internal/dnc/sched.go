@@ -54,7 +54,7 @@ func (q itemQueue) Less(a, b int) bool {
 	}
 	return q[a].seq < q[b].seq
 }
-func (q itemQueue) Swap(a, b int)      { q[a], q[b] = q[b], q[a] }
+func (q itemQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
 func (q *itemQueue) Push(x interface{}) { *q = append(*q, x.(*schedItem)) }
 func (q *itemQueue) Pop() interface{} {
 	old := *q
@@ -228,6 +228,10 @@ func (s *scheduler) runItem(group int, it *schedItem) {
 	copts := s.opts.Parallel
 	copts.Cancel = s.latch.Done()
 	copts.MemGauge = s.memGauge(group)
+	// Strict memory budget only while re-split depth remains (mirrors the
+	// sequential driver): below the limit an over-budget set refines the
+	// class; at the limit the store compresses or spills and completes.
+	copts.Core.StrictMemBudget = copts.Core.MemBudget > 0 && sub.Depth < s.opts.MaxDepth
 	s.rec.BeginClass()
 	start := time.Now()
 	err := enumerate(sub, pr, copts, s.N.Cols())
@@ -248,15 +252,54 @@ func (s *scheduler) runItem(group int, it *schedItem) {
 		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
 		return
 	}
-	if sub.Depth >= s.opts.MaxDepth {
-		sub.Unresolved = true
-		s.rec.UnresolvedClass()
+	memTriggered := errors.Is(err, core.ErrMemBudget)
+	if sub.Depth < s.opts.MaxDepth {
+		rerr := s.resplitEnqueue(sub)
+		if rerr == nil {
+			if memTriggered {
+				sub.MemResplit = true
+				s.rec.MemResplit()
+			}
+			return
+		}
+		if !memTriggered || !errors.Is(rerr, errNoRefinement) {
+			s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, rerr))
+			return
+		}
+		// Memory re-split with no reaction left to refine by: fall
+		// through to the soft retry (mirrors the sequential driver).
+	}
+	if memTriggered {
+		// Re-run without strictness: the store compresses and spills the
+		// class to completion instead of the run failing.
+		copts.Core.StrictMemBudget = false
+		s.rec.BeginClass()
+		start = time.Now()
+		if err := enumerate(sub, pr, copts, s.N.Cols()); err != nil {
+			s.rec.AbortClass()
+			if errors.Is(err, core.ErrBudget) {
+				// The soft retry can still blow the mode-count budget.
+				sub.Unresolved = true
+				s.rec.UnresolvedClass()
+				s.progress(sub)
+				return
+			}
+			s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
+			return
+		}
+		s.rec.EndClass(stats.SchedClass{
+			Label:   classLabel(sub),
+			Depth:   sub.Depth,
+			Seconds: time.Since(start).Seconds(),
+			Pairs:   sub.Pairs,
+			EFMs:    len(sub.Supports),
+		})
 		s.progress(sub)
 		return
 	}
-	if err := s.resplitEnqueue(sub); err != nil {
-		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
-	}
+	sub.Unresolved = true
+	s.rec.UnresolvedClass()
+	s.progress(sub)
 }
 
 // resplitEnqueue converts a budget overflow into two new queue items:

@@ -66,6 +66,10 @@ type Job struct {
 
 	req   Request
 	latch *cluster.Latch
+	// reserved is the job's memory-budget reservation against the
+	// manager's MaxResidentBytes allowance. Written at admission and
+	// read at release, both under the manager's lock.
+	reserved int64
 
 	mu       sync.Mutex
 	change   chan struct{} // closed and replaced on every state/event append

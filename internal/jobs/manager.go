@@ -29,6 +29,10 @@ var (
 	// ErrQueueFull rejects a submission when the bounded admission queue
 	// has no free slot — the service's backpressure signal.
 	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrResidentFull rejects a submission whose memory-budget
+	// reservation would push the sum of all admitted jobs' budgets past
+	// Config.MaxResidentBytes — the memory-side backpressure signal.
+	ErrResidentFull = errors.New("jobs: resident memory budget exhausted")
 	// ErrDraining rejects submissions during graceful shutdown.
 	ErrDraining = errors.New("jobs: manager draining")
 	// ErrNotFound marks an unknown job ID.
@@ -72,6 +76,21 @@ type Config struct {
 	// grows forever). Oldest-finished evict first. 0 means 256; negative
 	// disables eviction.
 	KeepJobs int
+	// MaxResidentBytes bounds the sum of the memory budgets of all
+	// queued and running jobs: admission by reservation. A submission
+	// reserves its effective budget (Config.MemBudgetBytes, or
+	// DefaultMemBudget when unset); a job with NO budget reserves the
+	// full allowance, since nothing bounds its residency. Submissions
+	// that do not fit fail fast with ErrResidentFull. 0 disables the
+	// check.
+	MaxResidentBytes int64
+	// DefaultMemBudget is applied to requests that set no
+	// MemBudgetBytes of their own. 0 leaves them unbudgeted.
+	DefaultMemBudget int64
+	// SpillDir overrides every job's spill directory. Operator
+	// configuration — remote clients cannot choose server filesystem
+	// paths.
+	SpillDir string
 	// Compute overrides the driver entry point (tests). Nil means
 	// elmocomp.ComputeEFMsCancel.
 	Compute ComputeFunc
@@ -95,6 +114,13 @@ type Counters struct {
 	SchedSteals     int64 `json:"sched_steals"`
 	SchedResplits   int64 `json:"sched_resplits"`
 	SchedUnresolved int64 `json:"sched_unresolved"`
+	// Between-rounds store totals summed over completed runs
+	// (elmocomp.StoreStats): how often surviving mode sets were held
+	// compressed or spilled to disk, and the memory-budget re-splits.
+	StoreCompressions int64 `json:"store_compressions"`
+	StoreSpills       int64 `json:"store_spills"`
+	StoreSpillBytes   int64 `json:"store_spill_bytes"`
+	MemResplits       int64 `json:"mem_resplits"`
 }
 
 // Stats is the /varz snapshot.
@@ -104,7 +130,11 @@ type Stats struct {
 	Queued   int        `json:"queued"`
 	Running  int        `json:"running"`
 	Jobs     int        `json:"jobs"`
-	Draining bool       `json:"draining"`
+	// ResidentBytes is the sum of the memory-budget reservations of all
+	// queued and running jobs — the in-flight resident-bytes gauge the
+	// MaxResidentBytes admission check compares against.
+	ResidentBytes int64 `json:"resident_bytes"`
+	Draining      bool  `json:"draining"`
 }
 
 // Manager owns the job lifecycle. Construct with New, stop with
@@ -120,6 +150,7 @@ type Manager struct {
 	inflight map[string]*Job // request key → queued/running job
 	running  int
 	queued   int
+	resident int64    // sum of admitted jobs' memory-budget reservations
 	retired  []string // terminal job IDs in finish order, oldest first
 	draining bool
 	closed   bool
@@ -174,6 +205,14 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if req.Config.Progress != nil {
 		return nil, errors.New("jobs: Request.Config.Progress is owned by the manager")
 	}
+	// Operator memory policy. Both fields are result-neutral (excluded
+	// from the request key), so coalescing and the cache are unaffected.
+	if req.Config.MemBudgetBytes == 0 {
+		req.Config.MemBudgetBytes = m.cfg.DefaultMemBudget
+	}
+	if m.cfg.SpillDir != "" {
+		req.Config.SpillDir = m.cfg.SpillDir
+	}
 	key := elmocomp.RequestKey(req.Network, req.Config)
 
 	m.mu.Lock()
@@ -218,6 +257,21 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.counters.Coalesced++
 		return j, nil
 	}
+	// Admission by reservation: the job's effective memory budget (or
+	// the full allowance when it has none) must fit under
+	// MaxResidentBytes alongside every already-admitted job's.
+	var reserve int64
+	if m.cfg.MaxResidentBytes > 0 {
+		reserve = req.Config.MemBudgetBytes
+		if reserve <= 0 || reserve > m.cfg.MaxResidentBytes {
+			reserve = m.cfg.MaxResidentBytes
+		}
+		if m.resident+reserve > m.cfg.MaxResidentBytes {
+			m.counters.Rejected++
+			return nil, fmt.Errorf("%w (%d of %d bytes reserved)",
+				ErrResidentFull, m.resident, m.cfg.MaxResidentBytes)
+		}
+	}
 	j := newJob(m.newIDLocked(), key, req)
 	select {
 	case m.queue <- j:
@@ -225,6 +279,8 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.counters.Rejected++
 		return nil, fmt.Errorf("%w (%d slots)", ErrQueueFull, m.cfg.Queue)
 	}
+	j.reserved = reserve
+	m.resident += reserve
 	m.queued++
 	m.jobs[j.ID] = j
 	m.inflight[key] = j
@@ -298,6 +354,7 @@ func (m *Manager) Cancel(id string) error {
 			delete(m.inflight, j.Key)
 		}
 		m.queued--
+		m.resident -= j.reserved
 		m.counters.RunsCanceled++
 		m.retireLocked(j)
 		m.mu.Unlock()
@@ -362,6 +419,13 @@ func (m *Manager) runJob(j *Job) {
 	default:
 		m.counters.RunsFailed++
 	}
+	m.resident -= j.reserved
+	if res != nil {
+		m.counters.StoreCompressions += res.Store.Compressions
+		m.counters.StoreSpills += res.Store.Spills
+		m.counters.StoreSpillBytes += res.Store.SpillBytes
+		m.counters.MemResplits += int64(res.MemResplits)
+	}
 	if res != nil && res.Scheduler != nil {
 		m.counters.SchedEnqueued += res.Scheduler.Enqueued
 		m.counters.SchedSteals += res.Scheduler.Steals
@@ -377,12 +441,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Counters: m.counters,
-		Cache:    m.cache.Stats(),
-		Queued:   m.queued,
-		Running:  m.running,
-		Jobs:     len(m.jobs),
-		Draining: m.draining,
+		Counters:      m.counters,
+		Cache:         m.cache.Stats(),
+		Queued:        m.queued,
+		Running:       m.running,
+		Jobs:          len(m.jobs),
+		ResidentBytes: m.resident,
+		Draining:      m.draining,
 	}
 }
 

@@ -236,6 +236,10 @@ func Run(p *nullspace.Problem, opts Options) (*Result, error) {
 		if b := results[r].peakBytes; b > out.PeakNodeBytes {
 			out.PeakNodeBytes = b
 		}
+		// Store counters SUM over the replicas: every node holds (and
+		// compresses or spills) its own copy of the surviving set, so the
+		// totals describe group-wide bytes, not one node's.
+		out.Result.Store.Add(results[r].store)
 	}
 	return out, nil
 }
@@ -245,6 +249,7 @@ type nodeResult struct {
 	stats     []core.IterStats
 	phases    PhaseTimes
 	peakBytes int64
+	store     core.StoreStats
 }
 
 // checkReplicas enforces the replication invariant of Algorithm 2:
@@ -277,10 +282,20 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 	if gauge != nil {
 		defer gauge(comm.Rank(), 0)
 	}
-	set := core.InitialModeSet(p, tolOf(copts))
 	pool := core.NewPool(p, copts.Workers)
 	rank, size := comm.Rank(), comm.Size()
 	var local *core.ModeSet
+
+	// Each node runs its own between-rounds mode store: under a memory
+	// budget the replicated surviving set is compressed or spilled while
+	// the node waits at the next collective, instead of staying flat on
+	// every replica at once. The deferred Release covers every abort,
+	// fault and cancel path, so spill temp files never outlive the run.
+	store := core.NewStoreManager(copts)
+	defer store.Release()
+	if err := store.Hold(core.InitialModeSet(p, tolOf(copts))); err != nil {
+		return nil, err
+	}
 
 	for row := p.D; row < last; row++ {
 		if copts.Cancel != nil {
@@ -292,6 +307,10 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 				return nil, &cluster.AbortError{Cause: cluster.ErrCanceled}
 			default:
 			}
+		}
+		set, err := store.Materialize()
+		if err != nil {
+			return nil, err
 		}
 		it := core.BeginRow(p, set, row, copts)
 
@@ -342,19 +361,32 @@ func runNode(p *nullspace.Problem, copts core.Options, comm cluster.Comm, last i
 			return nil, err
 		}
 		nr.phases.Merge += it.Stats.MergeSeconds
-		set = next
 		if b := it.Stats.PeakBytes; b > nr.peakBytes {
 			nr.peakBytes = b
 		}
-		if gauge != nil {
-			gauge(rank, it.Stats.PeakBytes)
-		}
 		nr.stats = append(nr.stats, it.Stats)
 		if copts.Trace != nil && rank == 0 {
-			copts.Trace(it.Stats, set)
+			copts.Trace(it.Stats, next)
+		}
+		if err := store.Hold(next); err != nil {
+			return nil, err
+		}
+		if gauge != nil {
+			gauge(rank, it.Stats.PeakBytes)
+			if store.Active() {
+				// Second sample: the post-Hold resident footprint. With no
+				// budget the store is a pass-through and this sample is
+				// skipped, keeping the gauge stream exactly as before.
+				gauge(rank, store.ResidentBytes())
+			}
 		}
 	}
-	nr.set = set
+	final, err := store.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	nr.set = final
+	nr.store = store.Stats()
 	return nr, nil
 }
 

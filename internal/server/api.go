@@ -31,6 +31,12 @@ type RunOptions struct {
 	Tolerance      float64  `json:"tolerance,omitempty"`
 	// CommTimeoutSeconds bounds each inter-node collective.
 	CommTimeoutSeconds float64 `json:"comm_timeout_seconds,omitempty"`
+	// MemBudgetBytes caps resident intermediate-mode bytes per engine;
+	// over budget, surviving sets are compressed and then spilled to
+	// disk (results stay bit-identical). The spill directory is operator
+	// configuration (efmd -spill-dir) — deliberately not a wire option,
+	// so remote clients cannot choose server filesystem paths.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 // Config translates the wire options into a library Config.
@@ -47,6 +53,7 @@ func (o RunOptions) Config() (elmocomp.Config, error) {
 		MaxIntermediateModes:   o.MaxModes,
 		Tolerance:              o.Tolerance,
 		CommTimeout:            time.Duration(o.CommTimeoutSeconds * float64(time.Second)),
+		MemBudgetBytes:         o.MemBudgetBytes,
 	}
 	switch strings.ToLower(o.Algorithm) {
 	case "", "serial":
@@ -134,6 +141,13 @@ type RunSummary struct {
 	CommWireBytes       int64   `json:"comm_wire_bytes,omitempty"`
 	CommMessages        int64   `json:"comm_messages,omitempty"`
 	ElapsedSeconds      float64 `json:"elapsed_seconds"`
+	// Mode-store engagement: zero unless a memory budget (or a forced
+	// store tier) pushed surviving sets into the compressed or spill tier.
+	StoreCompressions  int64 `json:"store_compressions,omitempty"`
+	StoreSpills        int64 `json:"store_spills,omitempty"`
+	StoreSpillBytes    int64 `json:"store_spill_bytes,omitempty"`
+	StorePeakHeldBytes int64 `json:"store_peak_held_bytes,omitempty"`
+	MemResplits        int   `json:"mem_resplits,omitempty"`
 }
 
 // Summarize builds the shared summary from a finished run.
@@ -155,6 +169,13 @@ func Summarize(net *elmocomp.Network, res *elmocomp.Result, elapsed time.Duratio
 	if res.Scheduler != nil {
 		s.PeakConcurrentBytes = res.PeakConcurrentBytes
 	}
+	if res.Store.Engaged() {
+		s.StoreCompressions = res.Store.Compressions
+		s.StoreSpills = res.Store.Spills
+		s.StoreSpillBytes = res.Store.SpillBytes
+		s.StorePeakHeldBytes = res.Store.PeakHeldBytes
+	}
+	s.MemResplits = res.MemResplits
 	return s
 }
 

@@ -89,7 +89,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.mgr.Submit(jobs.Request{Network: net, Config: cfg})
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrResidentFull):
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, jobs.ErrDraining):

@@ -342,16 +342,90 @@ func TestEventsStreamShape(t *testing.T) {
 	}
 }
 
+// TestVarzStoreCounters: a memory-budgeted job must surface its store
+// engagement in both the result summary and the /varz counters, without
+// changing the result, and the cache gauge must reflect the stored
+// payload.
+func TestVarzStoreCounters(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1, SpillDir: t.TempDir()})
+
+	net, err := elmocomp.Builtin("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := elmocomp.ComputeEFMs(net, elmocomp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{MemBudgetBytes: 1}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	rr, code := awaitResult(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if got := fmt.Sprintf("%016x", want.Fingerprint()); rr.Summary.Fingerprint != got {
+		t.Errorf("budgeted fingerprint %s, unbudgeted %s", rr.Summary.Fingerprint, got)
+	}
+	if rr.Summary.StoreSpills == 0 || rr.Summary.StoreSpillBytes == 0 {
+		t.Errorf("1-byte budget never spilled in the summary: %+v", rr.Summary)
+	}
+
+	vz := varz(t, ts)
+	if vz.Counters.StoreSpills == 0 || vz.Counters.StoreSpillBytes == 0 {
+		t.Errorf("store counters missing from /varz: %+v", vz.Counters)
+	}
+	if vz.Cache.Bytes == 0 {
+		t.Errorf("cache bytes gauge empty after a cached result: %+v", vz.Cache)
+	}
+	if vz.ResidentBytes != 0 {
+		t.Errorf("resident_bytes = %d after the only job finished", vz.ResidentBytes)
+	}
+}
+
+// TestResidentAdmissionOverHTTP: when admitting a job would push the
+// in-flight memory-budget reservations past MaxResidentBytes, the submit
+// is rejected with 429, and /varz tracks the reservation gauge.
+func TestResidentAdmissionOverHTTP(t *testing.T) {
+	compute, release := blockingCompute(t)
+	ts, _ := newTestServer(t, jobs.Config{
+		Workers: 1, Queue: 4, Compute: compute, CacheBytes: -1,
+		MaxResidentBytes: 100, SpillDir: t.TempDir(),
+	})
+
+	st, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{MemBudgetBytes: 60}})
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	if vz := varz(t, ts); vz.ResidentBytes != 60 {
+		t.Errorf("resident_bytes = %d with one 60-byte reservation", vz.ResidentBytes)
+	}
+	// A different request (tolerance avoids coalescing) would need 60
+	// more reserved bytes: over the 100-byte allowance.
+	over := SubmitRequest{Model: "toy", Options: RunOptions{MemBudgetBytes: 60, Tolerance: 1e-7}}
+	if _, code := postJob(t, ts, over); code != http.StatusTooManyRequests {
+		t.Errorf("over-allowance submit status %d, want 429", code)
+	}
+
+	close(release)
+	streamEvents(t, ts, st.ID)
+	if vz := varz(t, ts); vz.ResidentBytes != 0 {
+		t.Errorf("resident_bytes = %d after release", vz.ResidentBytes)
+	}
+}
+
 func TestSubmitValidationAndBackpressure(t *testing.T) {
 	compute, release := blockingCompute(t)
 	ts, mgr := newTestServer(t, jobs.Config{Workers: 1, Queue: 1, Compute: compute, CacheBytes: -1})
 	defer close(release)
 
 	bad := []SubmitRequest{
-		{},                                   // no model, no network
-		{Model: "toy", Network: "name x\n"},  // both
-		{Model: "no-such-model"},             // unknown builtin
-		{Network: "not a network"},           // parse failure
+		{},                                  // no model, no network
+		{Model: "toy", Network: "name x\n"}, // both
+		{Model: "no-such-model"},            // unknown builtin
+		{Network: "not a network"},          // parse failure
 		{Model: "toy", Options: RunOptions{Algorithm: "quantum"}},
 		{Model: "toy", Options: RunOptions{Test: "vibes"}},
 	}

@@ -38,6 +38,10 @@ type SchedStats struct {
 	// Resplits counts budget-triggered re-splits converted into new
 	// queue items (instead of inline recursion).
 	Resplits int64
+	// MemResplits counts the subset of Resplits triggered by the memory
+	// budget (a flat mode set too large for core.Options.MemBudget)
+	// rather than the intermediate mode-count budget.
+	MemResplits int64
 	// Unresolved counts classes abandoned at the re-split depth limit.
 	Unresolved int64
 	// MaxQueueDepth is the largest queue length observed at any
@@ -56,15 +60,15 @@ func (s *SchedStats) Table() *Table {
 	for _, c := range s.Classes {
 		tb.AddRow(c.Label, c.Depth, Seconds(c.Seconds), Count(c.Pairs), Count(int64(c.EFMs)))
 	}
-	tb.AddNote("queue: %d enqueued, %d steals, %d re-splits, %d unresolved; peak depth %d, peak active groups %d",
-		s.Enqueued, s.Steals, s.Resplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
+	tb.AddNote("queue: %d enqueued, %d steals, %d re-splits (%d by memory), %d unresolved; peak depth %d, peak active groups %d",
+		s.Enqueued, s.Steals, s.Resplits, s.MemResplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
 	return tb
 }
 
 // String renders a one-line summary.
 func (s *SchedStats) String() string {
-	return fmt.Sprintf("enqueued=%d steals=%d resplits=%d unresolved=%d maxqueue=%d maxactive=%d classes=%d",
-		s.Enqueued, s.Steals, s.Resplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive, len(s.Classes))
+	return fmt.Sprintf("enqueued=%d steals=%d resplits=%d memresplits=%d unresolved=%d maxqueue=%d maxactive=%d classes=%d",
+		s.Enqueued, s.Steals, s.Resplits, s.MemResplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive, len(s.Classes))
 }
 
 // SchedRecorder is the concurrency-safe accumulator behind SchedStats.
@@ -105,6 +109,13 @@ func (r *SchedRecorder) Resplit() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.s.Resplits++
+}
+
+// MemResplit marks the most recent re-split as memory-triggered.
+func (r *SchedRecorder) MemResplit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.MemResplits++
 }
 
 // UnresolvedClass records a class abandoned at the depth limit.

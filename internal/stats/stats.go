@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -125,6 +126,43 @@ func Bytes(v int64) string {
 		exp++
 	}
 	return fmt.Sprintf("%.1f %ciB", float64(v)/float64(div), "KMGTPE"[exp])
+}
+
+// ParseBytes parses a human byte size: a plain integer byte count or
+// one with a K/M/G/T suffix (binary multiples, optional "iB"/"B" tail,
+// case-insensitive) — "64M", "1.5GiB", "4096". The inverse vocabulary
+// of Bytes, for flags like efmcalc -mem-budget.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("empty byte size")
+	}
+	mult := int64(1)
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSpace(strings.TrimSuffix(t, "B"))
+	if n := len(t); n > 0 {
+		switch t[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			t = strings.TrimSpace(t[:n-1])
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
 }
 
 // Seconds formats seconds with adaptive precision.

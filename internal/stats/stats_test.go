@@ -98,3 +98,31 @@ func TestRatio(t *testing.T) {
 		t.Errorf("Ratio = %q", got)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":       0,
+		"4096":    4096,
+		"64K":     64 << 10,
+		"64k":     64 << 10,
+		"64KiB":   64 << 10,
+		"64KB":    64 << 10,
+		"1.5G":    3 << 29,
+		"2M":      2 << 20,
+		"1T":      1 << 40,
+		" 512 B ": 512,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "x", "12abc", "-1", "1Q"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
+		}
+	}
+}

@@ -59,6 +59,21 @@ func variants() []variant {
 			dnc:  true,
 		})
 	}
+	// Store tiers: every tier of the between-rounds mode store — and a
+	// deliberately tiny memory budget that forces compression, spilling
+	// and (under dnc) memory re-splits — must be invisible in the result.
+	v = append(v,
+		variant{name: "serial/store=compressed", cfg: elmocomp.Config{Workers: 1, StoreTier: elmocomp.StoreCompressed}},
+		variant{name: "serial/store=spill", cfg: elmocomp.Config{Workers: 1, StoreTier: elmocomp.StoreSpill}},
+		variant{name: "serial/membudget=1", cfg: elmocomp.Config{Workers: 1, MemBudgetBytes: 1}},
+		variant{name: "parallel/store=spill/nodes=2", cfg: elmocomp.Config{Algorithm: elmocomp.Parallel, Nodes: 2, Workers: 1, StoreTier: elmocomp.StoreSpill}},
+		variant{
+			name: "dnc/scheduler/groups=2/membudget=1",
+			cfg: elmocomp.Config{Algorithm: elmocomp.DivideAndConquer, Workers: 1,
+				GroupConcurrency: 2, MemBudgetBytes: 1},
+			dnc: true,
+		},
+	)
 	return v
 }
 
@@ -84,6 +99,49 @@ func dncQsub(t *testing.T, n *model.Network) int {
 // in-process and over TCP, sequential divide-and-conquer, and the
 // subproblem scheduler at several group counts — must produce the same
 // canonical-support fingerprint and EFM count.
+// TestDifferentialSpillBudget pins the memory-wall property on its own:
+// a budget of one byte forces every surviving set through the spill tier
+// (nothing fits flat, and the compressed form never fits alongside its
+// re-materialization), and the run must still match an unbudgeted serial
+// run bit for bit — with the store counters proving spilling happened.
+func TestDifferentialSpillBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness runs full driver sweeps; skipped with -short")
+	}
+	pt := differentialGrid[2]
+	n, err := Network(Params{
+		Layers: pt.layers, Width: pt.width, CrossLinks: pt.cross,
+		ReversibleFraction: pt.revFrac, MaxCoef: 2, Seed: *synthSeed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := elmocomp.ParseNetworkString(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := elmocomp.ComputeEFMs(net, elmocomp.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Store.Engaged() {
+		t.Fatalf("unbudgeted run engaged the store: %+v", base.Store)
+	}
+	budgeted, err := elmocomp.ComputeEFMs(net, elmocomp.Config{
+		Workers: 1, MemBudgetBytes: 1, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Fingerprint() != base.Fingerprint() || budgeted.Len() != base.Len() {
+		t.Fatalf("1-byte budget changed the result: %d EFMs fp %016x, want %d fp %016x",
+			budgeted.Len(), budgeted.Fingerprint(), base.Len(), base.Fingerprint())
+	}
+	if budgeted.Store.Spills == 0 {
+		t.Fatalf("1-byte budget never spilled: %+v", budgeted.Store)
+	}
+}
+
 func TestDifferentialDrivers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential harness runs full driver sweeps; skipped with -short")

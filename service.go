@@ -55,7 +55,8 @@ func (n *Network) Canonical() string { return n.inner.String() }
 //
 // Execution-shape options that are proven result-neutral — Workers,
 // Nodes, GroupConcurrency, OverTCP, CommTimeout, DisableHybridPrefilter,
-// Progress — are excluded: a 1-worker serial run and an 8-node cluster
+// MemBudgetBytes, SpillDir, StoreTier, Progress — are excluded: a
+// 1-worker serial run and an 8-node cluster
 // run of the same request share one key (the differential harness
 // enforces exactly this fingerprint equality). When MaxIntermediateModes
 // is 0 the algorithm choice itself is result-neutral too (every driver

@@ -137,9 +137,9 @@ func TestComputeEFMsCancel(t *testing.T) {
 	closed := make(chan struct{})
 	close(closed)
 	for name, cfg := range map[string]Config{
-		"serial":   {},
-		"parallel": {Algorithm: Parallel, Nodes: 2},
-		"dnc":      {Algorithm: DivideAndConquer, Nodes: 2},
+		"serial":    {},
+		"parallel":  {Algorithm: Parallel, Nodes: 2},
+		"dnc":       {Algorithm: DivideAndConquer, Nodes: 2},
 		"dnc-sched": {Algorithm: DivideAndConquer, GroupConcurrency: 2},
 	} {
 		_, err := ComputeEFMsCancel(net, cfg, closed)
