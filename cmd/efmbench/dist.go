@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/distrib"
+	"elmocomp/internal/stats"
+)
+
+// distEntry is one distributed run: a worker-fleet size (optionally
+// with one injected crash) against the local sequential baseline.
+type distEntry struct {
+	Fleet          int     `json:"fleet"` // 0 = local sequential driver (baseline)
+	Crashed        bool    `json:"crashed,omitempty"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	Speedup        float64 `json:"speedup_vs_seq"`
+	EFMs           int     `json:"efms"`
+	Candidates     int64   `json:"candidates"`
+	RemoteClasses  int64   `json:"remote_classes"`
+	RemoteSteals   int64   `json:"remote_steals"`
+	RemoteRequeues int64   `json:"remote_requeues"`
+	RemoteTimeouts int64   `json:"remote_timeouts"`
+	Fingerprint    string  `json:"fingerprint"`
+}
+
+type distReport struct {
+	Benchmark  string      `json:"benchmark"`
+	Network    string      `json:"network"`
+	Qsub       int         `json:"qsub"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Results    []distEntry `json:"results"`
+}
+
+// expDist measures the coordinator/worker deployment end to end over
+// loopback TCP: the medium workload's class queue dispatched onto
+// in-process worker fleets of increasing size, plus one fleet with an
+// injected worker crash mid-run. Every row's fingerprint must equal the
+// local sequential baseline's — the experiment fails otherwise. The
+// wire and serialization costs are real; the network latency is
+// loopback's, so read the scaling shape, not cluster wall-clock.
+func expDist(cfg benchConfig) error {
+	var net *elmocomp.Network
+	var err error
+	if cfg.full {
+		net, err = elmocomp.Builtin("yeast1")
+	} else {
+		net, err = mediumWorkload()
+	}
+	if err != nil {
+		return err
+	}
+	report := distReport{
+		Benchmark:  "dist",
+		Network:    net.Name(),
+		Qsub:       3,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	baseCfg := elmocomp.Config{
+		Algorithm:   elmocomp.DivideAndConquer,
+		Qsub:        report.Qsub,
+		Nodes:       1,
+		Workers:     1,
+		CommTimeout: cfg.commTimeout,
+		Progress:    progress(cfg),
+	}
+
+	type fleetSpec struct {
+		size  int
+		crash bool
+	}
+	sweep := []fleetSpec{{0, false}, {1, false}, {2, false}, {4, false}, {2, true}}
+
+	runFleet := func(fs fleetSpec) (*elmocomp.Result, float64, error) {
+		if fs.size == 0 {
+			start := time.Now()
+			res, err := elmocomp.ComputeEFMs(net, baseCfg)
+			return res, time.Since(start).Seconds(), err
+		}
+		var addrs []string
+		var workers []*distrib.Worker
+		defer func() {
+			for _, w := range workers {
+				w.Close()
+			}
+		}()
+		for i := 0; i < fs.size; i++ {
+			opts := distrib.WorkerOptions{}
+			if fs.crash && i == 0 {
+				opts.CrashOnClass = 1
+			}
+			w, err := distrib.NewWorker("127.0.0.1:0", opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			go w.Serve()
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+		}
+		pool := distrib.NewPool(addrs, distrib.PoolOptions{ClassTimeout: 10 * time.Minute})
+		defer pool.Close()
+		start := time.Now()
+		res, err := elmocomp.ComputeEFMsDistributed(net, baseCfg, nil, pool)
+		return res, time.Since(start).Seconds(), err
+	}
+
+	tb := stats.NewTable("coordinator/worker sharding over loopback TCP (qsub=3, pure remote)",
+		"fleet", "wall (s)", "speedup", "EFMs", "remote classes", "steals", "requeues", "fingerprint")
+	var base float64
+	var baseFP uint64
+	for _, fs := range sweep {
+		res, elapsed, err := runFleet(fs)
+		if err != nil {
+			return fmt.Errorf("fleet=%d crash=%v: %w", fs.size, fs.crash, err)
+		}
+		if base == 0 {
+			base = elapsed
+			baseFP = res.Fingerprint()
+		} else if res.Fingerprint() != baseFP {
+			return fmt.Errorf("fleet=%d crash=%v: fingerprint %016x differs from local baseline %016x",
+				fs.size, fs.crash, res.Fingerprint(), baseFP)
+		}
+		entry := distEntry{
+			Fleet:       fs.size,
+			Crashed:     fs.crash,
+			NsPerOp:     int64(elapsed * 1e9),
+			Speedup:     base / elapsed,
+			EFMs:        res.Len(),
+			Candidates:  res.CandidateModes,
+			Fingerprint: fmt.Sprintf("%016x", res.Fingerprint()),
+		}
+		if s := res.Scheduler; s != nil {
+			entry.RemoteClasses, entry.RemoteSteals = s.RemoteClasses, s.RemoteSteals
+			entry.RemoteRequeues, entry.RemoteTimeouts = s.RemoteRequeues, s.RemoteTimeouts
+		}
+		report.Results = append(report.Results, entry)
+		label := fmt.Sprintf("%d", fs.size)
+		if fs.size == 0 {
+			label = "local"
+		} else if fs.crash {
+			label = fmt.Sprintf("%d (1 crash)", fs.size)
+		}
+		tb.AddRow(label, stats.Seconds(elapsed), fmt.Sprintf("%.2fx", entry.Speedup),
+			stats.Count(int64(entry.EFMs)), stats.Count(entry.RemoteClasses),
+			stats.Count(entry.RemoteSteals), stats.Count(entry.RemoteRequeues), entry.Fingerprint)
+	}
+	tb.AddNote("fingerprints gate the rows: every fleet (even with the injected crash) must match local")
+	tb.AddNote("loopback TCP: serialization costs are real, network latency is not")
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.distJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.distJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.distJSONPath)
+	}
+	return nil
+}

@@ -39,6 +39,7 @@ type benchConfig struct {
 	hybridJSONPath  string
 	dncJSONPath     string
 	memwallJSONPath string
+	distJSONPath    string
 }
 
 type experiment struct {
@@ -60,6 +61,7 @@ var experiments = []experiment{
 	{"hybrid", "hybrid tree-prefilter vs rank-only elementarity on a pointed problem (writes BENCH_hybrid.json)", expHybrid},
 	{"dnc-sched", "divide-and-conquer subproblem scheduler across group counts (writes BENCH_dnc.json)", expDncSched},
 	{"memwall", "compressed and spill mode-store tiers vs flat on the pointed workload (writes BENCH_memwall.json)", expMemwall},
+	{"dist", "coordinator/worker class sharding over loopback TCP across fleet sizes (writes BENCH_dist.json)", expDist},
 }
 
 func main() {
@@ -73,6 +75,7 @@ func main() {
 		hybridJSON  = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
 		dncJSON     = flag.String("dnc-json", "BENCH_dnc.json", "machine-readable output file for the dnc-sched experiment")
 		memwallJSON = flag.String("memwall-json", "BENCH_memwall.json", "machine-readable output file for the memwall experiment")
+		distJSON    = flag.String("dist-json", "BENCH_dist.json", "machine-readable output file for the dist experiment")
 		groups      = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
 		budget      = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		commTO      = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
@@ -94,7 +97,7 @@ func main() {
 	}
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
 		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON,
-		memwallJSONPath: *memwallJSON}
+		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

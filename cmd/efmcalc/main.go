@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"elmocomp"
+	"elmocomp/internal/core"
 	"elmocomp/internal/prof"
 	"elmocomp/internal/server"
 	"elmocomp/internal/stats"
@@ -55,6 +56,12 @@ func main() {
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Reclaim spill files leaked by a SIGKILL'd predecessor; the age
+	// guard protects any concurrently running process's live spills.
+	if n, _ := core.SweepStaleSpills(*spillDir, 0); n > 0 && *verbose {
+		fmt.Fprintf(os.Stderr, "removed %d stale spill file(s)\n", n)
 	}
 
 	net, err := loadNetwork(*modelName, *file)

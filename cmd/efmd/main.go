@@ -14,6 +14,14 @@
 // SIGTERM/SIGINT drain gracefully: admissions stop (503), running jobs
 // get -drain-timeout to finish, stragglers are canceled through the
 // abort latch, and the process exits once every job is terminal.
+//
+// A fleet splits the roles: workers serve divide-and-conquer classes
+// over the distrib protocol, the coordinator serves the HTTP API and
+// dispatches classes onto its peers:
+//
+//	efmd -worker -addr 10.0.0.2:9179
+//	efmd -worker -addr 10.0.0.3:9179
+//	efmd -coordinator -peers 10.0.0.2:9179,10.0.0.3:9179
 package main
 
 import (
@@ -25,9 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"elmocomp/internal/core"
+	"elmocomp/internal/distrib"
 	"elmocomp/internal/jobs"
 	"elmocomp/internal/server"
 	"elmocomp/internal/stats"
@@ -44,8 +55,33 @@ func main() {
 		memBudget    = flag.String("mem-budget", "", "default per-job resident-byte budget, e.g. 64M (jobs may pass their own mem_budget_bytes)")
 		maxResident  = flag.String("max-resident", "", "admission allowance over all in-flight jobs' budget reservations, e.g. 2G (429 when exceeded)")
 		spillDir     = flag.String("spill-dir", "", "directory for mode-store spill files (operator-only; default: the OS temp dir)")
+		worker       = flag.Bool("worker", false, "serve divide-and-conquer classes over the distrib protocol on -addr instead of the HTTP API")
+		coordinator  = flag.Bool("coordinator", false, "dispatch divide-and-conquer jobs onto the -peers worker fleet")
+		peers        = flag.String("peers", "", "comma-separated worker addresses (requires -coordinator)")
+		classTimeout = flag.Duration("class-timeout", 2*time.Minute, "coordinator's per-class worker deadline before the class is re-enqueued elsewhere")
 	)
 	flag.Parse()
+
+	if *worker && *coordinator {
+		fatal(errors.New("-worker and -coordinator are mutually exclusive"))
+	}
+	if *coordinator != (*peers != "") {
+		fatal(errors.New("-coordinator and -peers go together: pass both or neither"))
+	}
+
+	// A SIGKILL'd predecessor gets no cleanup path for its mode-store
+	// spill files; reclaim stale ones before accepting work. The age
+	// guard keeps a concurrently running process's live spills safe.
+	if n, err := core.SweepStaleSpills(*spillDir, 0); err != nil {
+		log.Printf("efmd: spill sweep: %v", err)
+	} else if n > 0 {
+		log.Printf("efmd: removed %d stale spill file(s)", n)
+	}
+
+	if *worker {
+		runWorker(*addr, *spillDir)
+		return
+	}
 
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB <= 0 {
@@ -61,6 +97,19 @@ func main() {
 		}
 		return b
 	}
+	var pool *distrib.Pool
+	if *coordinator {
+		fleet := strings.Split(*peers, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+			if fleet[i] == "" {
+				fatal(errors.New("-peers has an empty address"))
+			}
+		}
+		pool = distrib.NewPool(fleet, distrib.PoolOptions{ClassTimeout: *classTimeout})
+		defer pool.Close()
+		log.Printf("efmd: coordinating %d worker(s): %s", len(fleet), *peers)
+	}
 	mgr := jobs.New(jobs.Config{
 		Queue:            *queue,
 		Workers:          *concurrency,
@@ -69,6 +118,7 @@ func main() {
 		DefaultMemBudget: parseSize("-mem-budget", *memBudget),
 		MaxResidentBytes: parseSize("-max-resident", *maxResident),
 		SpillDir:         *spillDir,
+		Remote:           pool,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -106,6 +156,34 @@ func main() {
 		log.Printf("efmd: http shutdown: %v", err)
 	}
 	log.Printf("efmd: stopped")
+}
+
+// runWorker serves the distrib class protocol until SIGTERM/SIGINT.
+// Workers are stateless apart from pure caches, so shutdown just closes
+// the listener: the coordinator re-enqueues whatever was in flight.
+func runWorker(addr, spillDir string) {
+	w, err := distrib.NewWorker(addr, distrib.WorkerOptions{
+		SpillDir: spillDir,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("efmd: worker serving classes on %s", w.Addr())
+		errc <- w.Serve()
+	}()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	w.Close()
+	c := w.Counters()
+	log.Printf("efmd: worker stopped (%d classes served, %d cache hits)", c.Served, c.CacheHits)
 }
 
 func fatal(err error) {

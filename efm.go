@@ -313,6 +313,13 @@ type SchedulerStats struct {
 	// the memory budget rather than the mode count; Unresolved counts
 	// classes abandoned at the re-split depth limit.
 	Enqueued, Steals, Resplits, MemResplits, Unresolved int64
+	// RemoteClasses counts classes completed on remote workers
+	// (ComputeEFMsDistributed runs; 0 otherwise); RemoteSteals is the
+	// subset a worker pulled against its cache affinity; RemoteRequeues
+	// counts classes re-enqueued after a worker was lost mid-class;
+	// RemoteTimeouts is the subset of those losses declared by the
+	// per-class deadline rather than a severed connection.
+	RemoteClasses, RemoteSteals, RemoteRequeues, RemoteTimeouts int64
 	// MaxQueueDepth and MaxActive are the observed queue-length and
 	// concurrently-enumerating-group peaks.
 	MaxQueueDepth, MaxActive int
@@ -601,15 +608,20 @@ func (r *Result) Verify() error {
 
 // ComputeEFMs computes the elementary flux modes of the network.
 func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
-	return computeEFMs(n, cfg, nil)
+	return computeEFMs(n, cfg, nil, nil)
 }
 
 // computeEFMs is the driver dispatch shared by ComputeEFMs and the
 // cancellable entry points: cancel, when non-nil, aborts the run as soon
 // as it is closed (between iterations for the serial engine, through the
 // communicator group's abort latch for the distributed drivers) and the
-// returned error matches ErrCanceled.
-func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error) {
+// returned error matches ErrCanceled. remoteBind, when non-nil, is
+// called with the reduced column count and returns the remote executor
+// the divide-and-conquer scheduler dispatches classes to
+// (ComputeEFMsDistributed); the indirection exists because the binding
+// needs the reduction's width for response validation and the reduction
+// happens here.
+func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}, remoteBind func(q int) dnc.RemoteExecutor) (*Result, error) {
 	red, err := reduce.Network(n.inner, reduce.Options{MergeDuplicates: !cfg.KeepDuplicateReactions})
 	if err != nil {
 		return nil, err
@@ -693,6 +705,9 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 			Qsub:             cfg.Qsub,
 			GroupConcurrency: cfg.GroupConcurrency,
 		}
+		if remoteBind != nil {
+			dopts.Remote = remoteBind(red.N.Cols())
+		}
 		if cfg.OverTCP {
 			dopts.Parallel.Transport = parallel.TCP
 		}
@@ -723,13 +738,17 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error
 		res.MemResplits = run.MemResplits()
 		if run.Sched != nil {
 			res.Scheduler = &SchedulerStats{
-				Enqueued:      run.Sched.Enqueued,
-				Steals:        run.Sched.Steals,
-				Resplits:      run.Sched.Resplits,
-				MemResplits:   run.Sched.MemResplits,
-				Unresolved:    run.Sched.Unresolved,
-				MaxQueueDepth: run.Sched.MaxQueueDepth,
-				MaxActive:     run.Sched.MaxActive,
+				Enqueued:       run.Sched.Enqueued,
+				Steals:         run.Sched.Steals,
+				Resplits:       run.Sched.Resplits,
+				MemResplits:    run.Sched.MemResplits,
+				Unresolved:     run.Sched.Unresolved,
+				RemoteClasses:  run.Sched.RemoteClasses,
+				RemoteSteals:   run.Sched.RemoteSteals,
+				RemoteRequeues: run.Sched.RemoteRequeues,
+				RemoteTimeouts: run.Sched.RemoteTimeouts,
+				MaxQueueDepth:  run.Sched.MaxQueueDepth,
+				MaxActive:      run.Sched.MaxActive,
 			}
 		}
 		res.Subproblems = subStats(run, red)

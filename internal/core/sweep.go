@@ -1,0 +1,51 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// spillGlob matches the temp files newSpillFile creates. Kept next to
+// SweepStaleSpills so the two never drift apart.
+const spillGlob = "elmocomp-spill-*.efmc"
+
+// DefaultSpillMaxAge is the age guard SweepStaleSpills applies when the
+// caller passes no explicit one. Spill files live exactly as long as one
+// iteration round of one running engine; anything a day old belongs to a
+// process that is long gone.
+const DefaultSpillMaxAge = 24 * time.Hour
+
+// SweepStaleSpills removes leaked spill files from dir (os.TempDir when
+// empty): files matching the spill tier's naming pattern whose
+// modification time is at least maxAge old (DefaultSpillMaxAge when
+// maxAge <= 0). The normal lifecycle unlinks every spill in-process —
+// on re-Hold, on Materialize, and from the engine's abort/cancel
+// cleanup — but a SIGKILL'd process gets no cleanup path and leaks its
+// spills forever; callers that own a spill directory (efmd, efmcalc)
+// sweep it once at startup. The age guard is what makes the sweep safe
+// to run while another process is live in the same directory: its
+// in-flight spills are recent and are never touched.
+func SweepStaleSpills(dir string, maxAge time.Duration) (removed int, err error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if maxAge <= 0 {
+		maxAge = DefaultSpillMaxAge
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, spillGlob))
+	if err != nil {
+		return 0, err
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for _, path := range matches {
+		st, err := os.Lstat(path)
+		if err != nil || !st.Mode().IsRegular() || st.ModTime().After(cutoff) {
+			continue // vanished, not a plain file, or young enough to be live
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}

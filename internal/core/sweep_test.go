@@ -1,0 +1,68 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSweepStaleSpills(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("x"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	age := func(path string, d time.Duration) {
+		old := time.Now().Add(-d)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stale := mk("elmocomp-spill-12345.efmc")
+	age(stale, 48*time.Hour)
+	live := mk("elmocomp-spill-67890.efmc") // fresh: a running process may own it
+	other := mk("unrelated.efmc")           // wrong name: never ours to delete
+	age(other, 48*time.Hour)
+
+	n, err := SweepStaleSpills(dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("removed %d files, want 1", n)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale spill still present: %v", err)
+	}
+	for _, keep := range []string{live, other} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Errorf("%s should have been kept: %v", filepath.Base(keep), err)
+		}
+	}
+
+	// Second sweep is a no-op.
+	if n, err = SweepStaleSpills(dir, time.Hour); err != nil || n != 0 {
+		t.Fatalf("re-sweep = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestSweepStaleSpillsDefaultAge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "elmocomp-spill-1.efmc")
+	if err := os.WriteFile(path, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * DefaultSpillMaxAge)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// maxAge <= 0 selects DefaultSpillMaxAge.
+	if n, err := SweepStaleSpills(dir, 0); err != nil || n != 1 {
+		t.Fatalf("sweep = (%d, %v), want (1, nil)", n, err)
+	}
+}

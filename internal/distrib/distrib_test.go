@@ -1,0 +1,375 @@
+package distrib
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/core"
+	"elmocomp/internal/dnc"
+	"elmocomp/internal/model"
+	"elmocomp/internal/reduce"
+)
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	addrs := []string{"10.0.0.1:9179", "10.0.0.2:9179", "10.0.0.3:9179"}
+	a, b := newRing(addrs), newRing(addrs)
+	keys := make([]string, 0, 256)
+	for i := 0; i < 256; i++ {
+		keys = append(keys, fmt.Sprintf("job-%d/%08b/%d", i%3, i, i%4))
+	}
+	hits := make([]int, len(addrs))
+	for _, key := range keys {
+		sa, sb := a.lookup(key), b.lookup(key)
+		if sa != sb {
+			t.Fatalf("lookup(%q): %d vs %d across identical rings", key, sa, sb)
+		}
+		hits[sa]++
+	}
+	for slot, n := range hits {
+		if n == 0 {
+			t.Errorf("slot %d never chosen over %d keys (ring badly skewed)", slot, len(keys))
+		}
+	}
+	// Removing one worker must not reroute keys the survivors already
+	// owned — that cache stability is the point of consistent hashing.
+	small := newRing(addrs[:2])
+	moved, kept := 0, 0
+	for _, key := range keys {
+		if full := a.lookup(key); full < 2 {
+			kept++
+			if small.lookup(key) != full {
+				moved++
+			}
+		}
+	}
+	if moved*2 > kept {
+		t.Errorf("%d of %d surviving-slot keys moved after removing one worker; consistent hashing should move few", moved, kept)
+	}
+}
+
+func TestFrameRoundTripAndLimit(t *testing.T) {
+	var buf bytes.Buffer
+	in := classRequest{Seq: 7, Key: "k", Network: "net", Partition: []int{3, 5}, Class: 2}
+	if err := writeMsg(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out classRequest
+	if err := readMsg(&buf, &out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 7 || out.Class != 2 || len(out.Partition) != 2 {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+	buf.Reset()
+	if err := writeMsg(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := readMsg(&buf, &out, 8); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestSupportsCodecRoundTrip(t *testing.T) {
+	q := 70 // spans two words
+	var supports []bitset.Set
+	for i := 0; i < 5; i++ {
+		b := bitset.New(q)
+		b.Set(i)
+		b.Set(69 - i)
+		supports = append(supports, b)
+	}
+	payload := encodeSupports(supports, q)
+	got, err := decodeSupports(payload, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(supports) {
+		t.Fatalf("decoded %d supports, want %d", len(got), len(supports))
+	}
+	for i := range got {
+		if !got[i].Equal(supports[i]) {
+			t.Fatalf("support %d differs: %s vs %s", i, got[i], supports[i])
+		}
+	}
+	if _, err := decodeSupports(payload, q+1); err == nil {
+		t.Fatal("column-count mismatch accepted")
+	}
+	if _, err := decodeSupports([]byte("garbage"), q); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+// startWorker runs a worker on a loopback port for the test's lifetime.
+func startWorker(t *testing.T, opts WorkerOptions) *Worker {
+	t.Helper()
+	w, err := NewWorker("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// toyJob prepares the shared job fixture: the built-in toy network's
+// canonical text, its reduction, and the sequential reference result.
+func toyJob(t *testing.T) (JobSpec, *reduce.Reduced, *dnc.Result) {
+	t.Helper()
+	n := model.Builtin("toy")
+	if n == nil {
+		t.Fatal("no toy network")
+	}
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Key: "test-job-1", Network: n.String(), Q: red.N.Cols()}
+	return spec, red, seq
+}
+
+func fp(supports []bitset.Set) uint64 { return core.SupportsFingerprint(supports) }
+
+func TestPoolEndToEnd(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w1 := startWorker(t, WorkerOptions{})
+	w2 := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{w1.Addr(), w2.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatalf("distributed fingerprint %x != local %x", fp(res.Supports), fp(seq.Supports))
+	}
+	if res.Sched.RemoteClasses == 0 {
+		t.Fatal("no classes ran on the workers")
+	}
+	if res.Sched.RemoteRequeues != 0 {
+		t.Fatalf("%d requeues on a healthy fleet", res.Sched.RemoteRequeues)
+	}
+	var dispatched int64
+	for _, ws := range pool.Stats() {
+		if !ws.Alive {
+			t.Errorf("worker %s marked dead on a healthy run", ws.Addr)
+		}
+		dispatched += ws.Dispatched
+		if ws.Dispatched != ws.Completed {
+			t.Errorf("worker %s: %d dispatched vs %d completed", ws.Addr, ws.Dispatched, ws.Completed)
+		}
+	}
+	if dispatched != res.Sched.RemoteClasses {
+		t.Errorf("pool dispatched %d, scheduler counted %d", dispatched, res.Sched.RemoteClasses)
+	}
+}
+
+// TestPoolClassCacheHits: the same job resubmitted to a single worker
+// must answer every class from the worker's cache.
+func TestPoolClassCacheHits(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	for round := 0; round < 2; round++ {
+		res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if fp(res.Supports) != fp(seq.Supports) {
+			t.Fatalf("round %d: fingerprint mismatch", round)
+		}
+	}
+	c := w.Counters()
+	if c.CacheHits == 0 {
+		t.Fatalf("no cache hits on a repeated job (served %d)", c.Served)
+	}
+	if got := pool.Stats()[0].CacheHits; got != c.CacheHits {
+		t.Errorf("pool saw %d cache hits, worker served %d", got, c.CacheHits)
+	}
+}
+
+// TestPoolWorkerCrash: one worker of two dies on its first class (like
+// kill -9 mid-class). The job must complete with an identical result;
+// any class the dead worker held is re-enqueued.
+func TestPoolWorkerCrash(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	doomed := startWorker(t, WorkerOptions{CrashOnClass: 1})
+	healthy := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{doomed.Addr(), healthy.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("run failed despite a surviving worker: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatalf("fingerprint differs after worker crash")
+	}
+	// The doomed worker crashes on the first class it receives; whether
+	// it receives one is a scheduling race, so the requeue count is 0 or
+	// 1 — never more, and never a failed job.
+	if res.Sched.RemoteRequeues > 1 {
+		t.Fatalf("RemoteRequeues = %d, want <= 1", res.Sched.RemoteRequeues)
+	}
+}
+
+// TestPoolAllWorkersCrashFallback: every worker dies on its first class.
+// Deterministic: the coordinator requeues each loss, retires the fleet,
+// and finishes on the emergency local group.
+func TestPoolAllWorkersCrashFallback(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w1 := startWorker(t, WorkerOptions{CrashOnClass: 1})
+	w2 := startWorker(t, WorkerOptions{CrashOnClass: 1})
+	pool := NewPool([]string{w1.Addr(), w2.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("run failed instead of falling back locally: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("fingerprint differs after total fleet loss")
+	}
+	if res.Sched.RemoteRequeues == 0 {
+		t.Fatal("no requeues recorded though every worker died")
+	}
+	for _, ws := range pool.Stats() {
+		if ws.Alive {
+			t.Errorf("worker %s still marked alive after crashing", ws.Addr)
+		}
+	}
+}
+
+// TestPoolWedgedWorkerTimeout: a worker that accepts a class and never
+// answers must trip the per-class deadline; the class reruns (here on
+// the emergency local group — the wedged worker was the whole fleet)
+// and the result is unchanged. MemResplits-style: the timeout is a
+// counter, not a job failure.
+func TestPoolWedgedWorkerTimeout(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w := startWorker(t, WorkerOptions{WedgeOnClass: 1})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 500 * time.Millisecond})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("run failed instead of timing the wedged worker out: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("fingerprint differs after wedge timeout")
+	}
+	if res.Sched.RemoteTimeouts != 1 || res.Sched.RemoteRequeues != 1 {
+		t.Fatalf("requeues=%d timeouts=%d, want 1/1",
+			res.Sched.RemoteRequeues, res.Sched.RemoteTimeouts)
+	}
+	if st := pool.Stats()[0]; st.Timeouts != 1 {
+		t.Fatalf("pool recorded %d timeouts, want 1", st.Timeouts)
+	}
+}
+
+// TestPoolRedialAcrossJobs: a worker restarted between jobs rejoins the
+// fleet — the sticky down flag only retires a slot within a run.
+func TestPoolRedialAcrossJobs(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w1 := startWorker(t, WorkerOptions{})
+	// Reserve an address with no worker behind it yet.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := ln.Addr().String()
+	ln.Close()
+
+	pool := NewPool([]string{w1.Addr(), lateAddr}, PoolOptions{
+		DialTimeout: 2 * time.Second, ClassTimeout: 30 * time.Second,
+	})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("job 1 failed: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("job 1 fingerprint differs")
+	}
+	if pool.Stats()[1].Alive {
+		t.Fatal("absent worker marked alive after job 1")
+	}
+
+	// The missing worker comes up; the next job's dispatch redials it.
+	late, err := NewWorker(lateAddr, WorkerOptions{})
+	if err != nil {
+		t.Skipf("reserved port was taken: %v", err)
+	}
+	go late.Serve()
+	defer late.Close()
+
+	res, err = dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("job 2 failed: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("job 2 fingerprint differs")
+	}
+	if !pool.Stats()[1].Alive {
+		t.Fatal("restarted worker still marked dead after serving job 2")
+	}
+}
+
+// TestWorkerProtocolMismatch: a client speaking a different protocol
+// version gets a refusal, not a hung or misparsed connection.
+func TestWorkerProtocolMismatch(t *testing.T) {
+	w := startWorker(t, WorkerOptions{})
+	conn, err := net.DialTimeout("tcp", w.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeMsg(conn, helloRequest{Proto: protoVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var resp helloResponse
+	if err := readMsg(conn, &resp, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" || !strings.Contains(resp.Error, "protocol") {
+		t.Fatalf("mismatched hello not refused: %+v", resp)
+	}
+}
+
+// TestPoolBudgetStatusIdentity: budget overflows must cross the wire
+// with their exact error identity — the coordinator's re-split policy
+// keys on errors.Is(err, core.ErrBudget) / core.ErrMemBudget.
+func TestPoolBudgetStatusIdentity(t *testing.T) {
+	spec, _, _ := toyJob(t)
+	w := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+	spec.MaxModes = 1 // every class overflows
+	exec := pool.Bind(spec)
+	cancel := make(chan struct{})
+	defer close(cancel)
+	_, err := exec.Run(0, dnc.RemoteClass{ID: 0, Partition: []int{0}, Label: "0"}, cancel)
+	if err == nil {
+		t.Fatal("MaxModes=1 class completed")
+	}
+	if !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("budget identity lost over the wire: %v", err)
+	}
+	if errors.Is(err, dnc.ErrWorkerLost) {
+		t.Fatalf("budget overflow misclassified as worker loss: %v", err)
+	}
+}

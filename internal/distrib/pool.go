@@ -1,0 +1,336 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/dnc"
+)
+
+// PoolOptions configure the coordinator's worker-connection pool.
+type PoolOptions struct {
+	// DialTimeout bounds connecting plus the hello exchange (default 5s).
+	DialTimeout time.Duration
+	// ClassTimeout is the per-class response deadline: a worker holding
+	// a class longer is declared wedged, its link severed, and the class
+	// requeued (default 2m). Must comfortably exceed the slowest class.
+	ClassTimeout time.Duration
+	// MaxFrameBytes bounds incoming frames (default 256 MiB).
+	MaxFrameBytes int
+}
+
+// JobSpec is the per-job half of a class request: the canonical network
+// and the result-shaping options every class of the job shares. Q is the
+// reduced column count the caller derived — responses are validated
+// against it so a worker disagreeing about the reduction is caught at
+// the codec, not in the merged result.
+type JobSpec struct {
+	Key            string
+	Network        string
+	Q              int
+	KeepDuplicates bool
+	Tol            float64
+	MaxModes       int
+	Workers        int
+	Nodes          int
+	Tree           bool
+	NoHybrid       bool
+	MemBudget      int64
+	CommTimeoutSec float64
+}
+
+// Pool is a fixed fleet of worker links. It implements nothing itself;
+// Bind projects it onto one job as a dnc.RemoteExecutor. Links dial
+// lazily, serialize one in-flight class each, and redial on the next
+// use after a failure — so a worker restarted between jobs rejoins the
+// fleet without coordinator restarts, while within one job the
+// scheduler retires a failed slot after its requeue.
+type Pool struct {
+	opts    PoolOptions
+	workers []*workerLink
+	ring    *ring
+}
+
+// NewPool builds a pool over the worker addresses. No connection is
+// attempted until the first class is dispatched.
+func NewPool(addrs []string, opts PoolOptions) *Pool {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.ClassTimeout <= 0 {
+		opts.ClassTimeout = 2 * time.Minute
+	}
+	p := &Pool{opts: opts, ring: newRing(addrs)}
+	for _, a := range addrs {
+		p.workers = append(p.workers, &workerLink{addr: a})
+	}
+	return p
+}
+
+// Size returns the fleet size.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Close severs every link. Safe concurrently with in-flight classes:
+// they fail as worker-lost and the schedulers requeue.
+func (p *Pool) Close() {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
+		}
+		w.down = true
+		w.mu.Unlock()
+	}
+}
+
+// WorkerStats is one worker's coordinator-side counter snapshot, served
+// on /varz.
+type WorkerStats struct {
+	Addr       string `json:"addr"`
+	Alive      bool   `json:"alive"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+	CacheHits  int64  `json:"cache_hits"`
+	Failures   int64  `json:"failures"`
+	Timeouts   int64  `json:"timeouts"`
+}
+
+// Stats snapshots every worker's counters.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		alive := !w.down
+		w.mu.Unlock()
+		out[i] = WorkerStats{
+			Addr:       w.addr,
+			Alive:      alive,
+			Dispatched: atomic.LoadInt64(&w.dispatched),
+			Completed:  atomic.LoadInt64(&w.completed),
+			CacheHits:  atomic.LoadInt64(&w.cacheHits),
+			Failures:   atomic.LoadInt64(&w.failures),
+			Timeouts:   atomic.LoadInt64(&w.timeouts),
+		}
+	}
+	return out
+}
+
+// Bind projects the pool onto one job as the scheduler's executor.
+func (p *Pool) Bind(spec JobSpec) dnc.RemoteExecutor {
+	return &boundExec{p: p, spec: spec}
+}
+
+// workerLink is one worker's long-lived connection state. mu serializes
+// the single in-flight class; counters are atomics so Stats never waits
+// behind a running class.
+type workerLink struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+	down bool // link failed; cleared by a successful redial
+
+	dispatched int64
+	completed  int64
+	cacheHits  int64
+	failures   int64
+	timeouts   int64
+}
+
+// boundExec is a Pool bound to one JobSpec.
+type boundExec struct {
+	p    *Pool
+	spec JobSpec
+}
+
+func (e *boundExec) Slots() int { return len(e.p.workers) }
+
+func (e *boundExec) Alive(slot int) bool {
+	w := e.p.workers[slot]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.down
+}
+
+// Affinity routes a class by consistent hash over (job key, class), so
+// a repeated request scatters its classes onto the same workers as last
+// time and their class caches answer without recomputing.
+func (e *boundExec) Affinity(c dnc.RemoteClass) int {
+	return e.p.ring.lookup(fmt.Sprintf("%s/%s/%d", e.spec.Key, c.Label, c.Depth))
+}
+
+func (e *boundExec) Run(slot int, c dnc.RemoteClass, cancel <-chan struct{}) (*dnc.ClassOutcome, error) {
+	w := e.p.workers[slot]
+	req := &classRequest{
+		Key:            e.spec.Key,
+		Network:        e.spec.Network,
+		KeepDuplicates: e.spec.KeepDuplicates,
+		Tol:            e.spec.Tol,
+		MaxModes:       e.spec.MaxModes,
+		Workers:        e.spec.Workers,
+		Nodes:          e.spec.Nodes,
+		Tree:           e.spec.Tree,
+		NoHybrid:       e.spec.NoHybrid,
+		MemBudget:      e.spec.MemBudget,
+		CommTimeoutSec: e.spec.CommTimeoutSec,
+		Partition:      c.Partition,
+		Class:          c.ID,
+		Depth:          c.Depth,
+		StrictMem:      c.StrictMem,
+	}
+	resp, err := w.roundTrip(req, cancel, e.p.opts)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case statusOK:
+		supports, derr := decodeSupports(resp.Supports, e.spec.Q)
+		if derr != nil {
+			// A payload the coordinator cannot decode means the link (or
+			// the worker) is unreliable: sever it and let the class rerun
+			// elsewhere rather than aborting the job.
+			w.fail()
+			return nil, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, derr, dnc.ErrWorkerLost)
+		}
+		return &dnc.ClassOutcome{
+			Supports:      supports,
+			Pairs:         resp.Pairs,
+			PeakNodeBytes: resp.PeakNodeBytes,
+		}, nil
+	case statusSkipped:
+		return &dnc.ClassOutcome{Skipped: true}, nil
+	case statusBudget:
+		return nil, fmt.Errorf("distrib: worker %s: class %s over mode budget: %w", w.addr, c.Label, core.ErrBudget)
+	case statusMemBudget:
+		return nil, fmt.Errorf("distrib: worker %s: class %s over memory budget: %w", w.addr, c.Label, core.ErrMemBudget)
+	case statusError:
+		return nil, fmt.Errorf("distrib: worker %s: class %s: %s", w.addr, c.Label, resp.Error)
+	default:
+		w.fail()
+		return nil, fmt.Errorf("distrib: worker %s: unknown status %q: %w", w.addr, resp.Status, dnc.ErrWorkerLost)
+	}
+}
+
+// roundTrip sends one class and waits for its response under the class
+// deadline, dialing the link first when needed. Any failure severs the
+// link and surfaces as worker-lost (timeout-flavored when the deadline
+// expired), leaving redial to the next use.
+func (w *workerLink) roundTrip(req *classRequest, cancel <-chan struct{}, opts PoolOptions) (*classResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn == nil {
+		if err := w.dialLocked(opts); err != nil {
+			w.down = true
+			atomic.AddInt64(&w.failures, 1)
+			return nil, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, err, dnc.ErrWorkerLost)
+		}
+		w.down = false
+	}
+	w.seq++
+	req.Seq = w.seq
+	atomic.AddInt64(&w.dispatched, 1)
+
+	conn := w.conn
+	conn.SetDeadline(time.Now().Add(opts.ClassTimeout))
+	stop := make(chan struct{})
+	defer close(stop)
+	if cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				// Yank the in-flight read; the run is over either way.
+				conn.SetDeadline(time.Now().Add(-time.Second))
+			case <-stop:
+			}
+		}()
+	}
+
+	if err := writeMsg(conn, req); err != nil {
+		return nil, w.failLocked(err, cancel)
+	}
+	var resp classResponse
+	if err := readMsg(conn, &resp, opts.MaxFrameBytes); err != nil {
+		return nil, w.failLocked(err, cancel)
+	}
+	conn.SetDeadline(time.Time{})
+	if resp.Seq != req.Seq {
+		return nil, w.failLocked(fmt.Errorf("response seq %d for request %d", resp.Seq, req.Seq), cancel)
+	}
+	atomic.AddInt64(&w.completed, 1)
+	if resp.Cached {
+		atomic.AddInt64(&w.cacheHits, 1)
+	}
+	return &resp, nil
+}
+
+// failLocked severs the link and classifies the failure. Caller holds
+// w.mu.
+func (w *workerLink) failLocked(cause error, cancel <-chan struct{}) error {
+	w.conn.Close()
+	w.conn = nil
+	w.down = true
+	atomic.AddInt64(&w.failures, 1)
+	canceled := false
+	if cancel != nil {
+		select {
+		case <-cancel:
+			canceled = true
+		default:
+		}
+	}
+	var nerr net.Error
+	if !canceled && errors.As(cause, &nerr) && nerr.Timeout() {
+		atomic.AddInt64(&w.timeouts, 1)
+		return fmt.Errorf("distrib: worker %s: %w", w.addr, dnc.ErrWorkerTimeout)
+	}
+	return fmt.Errorf("distrib: worker %s: %v: %w", w.addr, cause, dnc.ErrWorkerLost)
+}
+
+// fail severs the link from outside roundTrip (decode failures).
+func (w *workerLink) fail() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	w.down = true
+	atomic.AddInt64(&w.failures, 1)
+}
+
+// dialLocked connects and completes the hello exchange. Caller holds
+// w.mu.
+func (w *workerLink) dialLocked(opts PoolOptions) error {
+	conn, err := net.DialTimeout("tcp", w.addr, opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if err := writeMsg(conn, helloRequest{Proto: protoVersion}); err != nil {
+		conn.Close()
+		return err
+	}
+	var hello helloResponse
+	if err := readMsg(conn, &hello, 1<<16); err != nil {
+		conn.Close()
+		return err
+	}
+	if hello.Error != "" {
+		conn.Close()
+		return errors.New(hello.Error)
+	}
+	if hello.Proto != protoVersion {
+		conn.Close()
+		return fmt.Errorf("worker speaks protocol %d, want %d", hello.Proto, protoVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	w.conn = conn
+	return nil
+}

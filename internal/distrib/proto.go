@@ -1,0 +1,172 @@
+// Package distrib is the coordinator/worker fabric of the distributed
+// efmd deployment: a framed JSON protocol for shipping divide-and-conquer
+// classes to remote worker processes, a connection pool implementing the
+// scheduler's RemoteExecutor on top of it, and a consistent-hash ring
+// that routes identical requests back to the same worker's cache.
+//
+// The protocol is deliberately coarse: one class per round trip, one
+// in-flight class per connection. Classes are seconds-to-minutes of
+// compute against kilobytes of payload, so per-message overhead is
+// irrelevant and the simplicity buys exactly the failure semantics the
+// scheduler wants — a broken connection maps one-to-one onto "the class
+// I dispatched there is lost".
+package distrib
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/core"
+)
+
+// protoVersion gates the hello exchange; bump on any wire change.
+const protoVersion = 1
+
+// defaultMaxFrame bounds a single frame. Support payloads dominate, and
+// a worker answering a class with more encoded modes than this is more
+// plausibly corrupt than correct.
+const defaultMaxFrame = 256 << 20
+
+// frameHeaderLen is the 4-byte little-endian length prefix, matching the
+// cluster substrate's TCP framing.
+const frameHeaderLen = 4
+
+// writeMsg frames and writes one JSON message.
+func writeMsg(w io.Writer, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readMsg reads and decodes one framed JSON message into v.
+func readMsg(r io.Reader, v interface{}, maxFrame int) error {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxFrame
+	}
+	if int64(n) > int64(maxFrame) {
+		return fmt.Errorf("distrib: %d-byte frame exceeds the %d-byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// helloRequest opens every connection; the worker refuses mismatched
+// protocol versions instead of misparsing frames.
+type helloRequest struct {
+	Proto int `json:"proto"`
+}
+
+type helloResponse struct {
+	Proto int    `json:"proto"`
+	Error string `json:"error,omitempty"`
+}
+
+// classRequest ships one divide-and-conquer class: the canonical network
+// text (the worker re-derives the identical reduction), the
+// result-shaping options, and the class coordinates. Seq pairs the
+// response on the connection; Key is the job's content-addressed
+// RequestKey, shared by every class of one job so the worker can reuse
+// its parsed reduction and key its class cache.
+type classRequest struct {
+	Seq uint64 `json:"seq"`
+	Key string `json:"key"`
+
+	Network        string  `json:"network"`
+	KeepDuplicates bool    `json:"keep_duplicates,omitempty"`
+	Tol            float64 `json:"tol,omitempty"`
+	MaxModes       int     `json:"max_modes,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	Nodes          int     `json:"nodes,omitempty"`
+	Tree           bool    `json:"tree,omitempty"`
+	NoHybrid       bool    `json:"no_hybrid,omitempty"`
+	MemBudget      int64   `json:"mem_budget,omitempty"`
+	CommTimeoutSec float64 `json:"comm_timeout_sec,omitempty"`
+
+	Partition []int  `json:"partition"`
+	Class     uint64 `json:"class"`
+	Depth     int    `json:"depth,omitempty"`
+	StrictMem bool   `json:"strict_mem,omitempty"`
+}
+
+// Response statuses. Budget overflows are statuses, not errors: they are
+// the coordinator's re-split signal and must survive the wire with their
+// exact identity.
+const (
+	statusOK        = "ok"
+	statusSkipped   = "skipped"
+	statusBudget    = "budget"
+	statusMemBudget = "membudget"
+	statusError     = "error"
+)
+
+type classResponse struct {
+	Seq    uint64 `json:"seq"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Pairs         int64 `json:"pairs,omitempty"`
+	PeakNodeBytes int64 `json:"peak_node_bytes,omitempty"`
+	Cached        bool  `json:"cached,omitempty"`
+	// Supports is the class's EFM supports in the versioned EFMS codec
+	// (supports-only payload over the reduced network's columns).
+	Supports []byte `json:"supports,omitempty"`
+}
+
+// encodeSupports serializes a support list over q reduced columns into
+// the EFMS codec — the same payload shape the job cache stores, so both
+// ends share one versioned format.
+func encodeSupports(supports []bitset.Set, q int) []byte {
+	set := core.NewModeSet(q, q, nil)
+	set.Grow(len(supports))
+	var words []uint64
+	for _, b := range supports {
+		if cap(words) < b.Words() {
+			words = make([]uint64, b.Words())
+		}
+		words = words[:b.Words()]
+		for w := range words {
+			words[w] = b.Word(w)
+		}
+		set.AppendMode(words, nil, nil, 0)
+	}
+	return set.Encode()
+}
+
+// decodeSupports inverts encodeSupports, validating the payload against
+// the expected column count.
+func decodeSupports(payload []byte, q int) ([]bitset.Set, error) {
+	set, err := core.DecodeModeSet(payload)
+	if err != nil {
+		return nil, err
+	}
+	if set.Q() != q {
+		return nil, fmt.Errorf("distrib: supports span %d columns, want %d", set.Q(), q)
+	}
+	if set.FirstRow() != set.Q() || len(set.RevRows()) != 0 {
+		return nil, fmt.Errorf("distrib: payload is an intermediate mode set, not a support list")
+	}
+	out := make([]bitset.Set, set.Len())
+	for i := range out {
+		out[i] = set.Support(i)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package distrib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerSlot is the virtual-node multiplicity of the consistent-hash
+// ring. 64 points per worker keeps the load split within a few percent
+// of even for small fleets without making lookups measurable.
+const vnodesPerSlot = 64
+
+// ring is a consistent-hash ring over worker slots. It exists so class
+// routing survives fleet recomposition gracefully: adding or removing
+// one worker remaps only the classes adjacent to its points instead of
+// reshuffling every class's cache home the way hash-mod-N would.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	slot int
+}
+
+// newRing builds the ring for a fleet. Slots are identified by their
+// addresses so the same fleet composition yields the same routing in
+// every coordinator process.
+func newRing(addrs []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodesPerSlot)}
+	for slot, addr := range addrs {
+		for v := 0; v < vnodesPerSlot; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", addr, v)),
+				slot: slot,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].slot < r.points[b].slot
+	})
+	return r
+}
+
+// lookup returns the slot owning a key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *ring) lookup(key string) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].slot
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

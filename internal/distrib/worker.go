@@ -1,0 +1,346 @@
+package distrib
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/dnc"
+	"elmocomp/internal/model"
+	"elmocomp/internal/parallel"
+	"elmocomp/internal/reduce"
+)
+
+// WorkerOptions configure a worker process.
+type WorkerOptions struct {
+	// SpillDir is the worker's own mode-store spill directory (operator
+	// configuration, never taken from the wire — the same rule efmd's
+	// HTTP API enforces).
+	SpillDir string
+	// CacheClasses bounds the worker's class-result cache (default 64;
+	// negative disables). Keyed on the full class request, so a repeated
+	// job routed back here by the coordinator's consistent hashing
+	// answers from memory.
+	CacheClasses int
+	// MaxFrameBytes bounds incoming frames (default 256 MiB).
+	MaxFrameBytes int
+	// Logf, when set, receives one line per served class.
+	Logf func(format string, args ...interface{})
+
+	// CrashOnClass, when > 0, injects a worker crash for tests: the
+	// request that brings the lifetime class count to this value is
+	// swallowed — the worker closes every connection and its listener
+	// without responding, like a kill -9.
+	CrashOnClass int
+	// WedgeOnClass, when > 0, injects a wedged worker: the matching
+	// request is held forever (until the peer disconnects), exercising
+	// the coordinator's per-class deadline.
+	WedgeOnClass int
+}
+
+// Worker serves divide-and-conquer classes over the distrib protocol:
+// the `efmd -worker` role. It is stateless across classes apart from two
+// pure caches (the parsed reduction and completed class results), so a
+// crashed worker loses nothing the coordinator cannot recompute.
+type Worker struct {
+	opts WorkerOptions
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	redMu  sync.Mutex
+	redKey string
+	red    *reduce.Reduced
+
+	cacheMu    sync.Mutex
+	cache      map[string]*classResponse
+	cacheOrder []string
+
+	reqCount int64 // lifetime class requests (fault-injection trigger)
+	served   int64
+	hits     int64
+}
+
+// NewWorker listens on addr (host:port; ":0" picks a free port).
+func NewWorker(addr string, opts WorkerOptions) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CacheClasses == 0 {
+		opts.CacheClasses = 64
+	}
+	return &Worker{
+		opts:  opts,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		cache: make(map[string]*classResponse),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Serve accepts coordinator connections until Close. Each connection
+// serves classes one at a time; concurrent connections run concurrently.
+func (w *Worker) Serve() error {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		w.conns[c] = struct{}{}
+		w.mu.Unlock()
+		go w.serveConn(c)
+	}
+}
+
+// Close stops the listener and severs every connection. In-flight
+// computations observe the severed connection through their cancel
+// channel and unwind.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// WorkerCounters are the worker's own service counters.
+type WorkerCounters struct {
+	Served    int64 `json:"served"`
+	CacheHits int64 `json:"cache_hits"`
+}
+
+// Counters snapshots the served-class counters.
+func (w *Worker) Counters() WorkerCounters {
+	return WorkerCounters{
+		Served:    atomic.LoadInt64(&w.served),
+		CacheHits: atomic.LoadInt64(&w.hits),
+	}
+}
+
+func (w *Worker) serveConn(c net.Conn) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, c)
+		w.mu.Unlock()
+		c.Close()
+	}()
+
+	var hello helloRequest
+	if err := readMsg(c, &hello, 1<<16); err != nil {
+		return
+	}
+	if hello.Proto != protoVersion {
+		writeMsg(c, helloResponse{Proto: protoVersion,
+			Error: fmt.Sprintf("protocol %d, want %d", hello.Proto, protoVersion)})
+		return
+	}
+	if err := writeMsg(c, helloResponse{Proto: protoVersion}); err != nil {
+		return
+	}
+
+	// Reader pump: one in-flight class per connection means the pump is
+	// idle (blocked reading) during compute — which is exactly how a
+	// severed connection is noticed mid-class and the compute canceled.
+	reqs := make(chan classRequest)
+	closed := make(chan struct{}) // pump saw a read error (peer gone)
+	done := make(chan struct{})   // this serving loop exited
+	defer close(done)
+	go func() {
+		defer close(closed)
+		for {
+			var req classRequest
+			if err := readMsg(c, &req, w.opts.MaxFrameBytes); err != nil {
+				return
+			}
+			select {
+			case reqs <- req:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for {
+		var req classRequest
+		select {
+		case req = <-reqs:
+		case <-closed:
+			return
+		}
+		n := atomic.AddInt64(&w.reqCount, 1)
+		if w.opts.CrashOnClass > 0 && n >= int64(w.opts.CrashOnClass) {
+			w.Close() // injected crash: vanish without responding
+			return
+		}
+		if w.opts.WedgeOnClass > 0 && n >= int64(w.opts.WedgeOnClass) {
+			<-closed // injected wedge: hold the class until the peer gives up
+			return
+		}
+		resp := w.exec(&req, closed)
+		if err := writeMsg(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+// exec runs one class request, serving from the class cache when the
+// identical request was answered before.
+func (w *Worker) exec(req *classRequest, cancel <-chan struct{}) *classResponse {
+	ck := cacheKey(req)
+	if hit := w.cacheGet(ck); hit != nil {
+		atomic.AddInt64(&w.hits, 1)
+		resp := *hit
+		resp.Seq = req.Seq
+		resp.Cached = true
+		return &resp
+	}
+
+	resp := &classResponse{Seq: req.Seq}
+	red, err := w.reduced(req)
+	if err != nil {
+		resp.Status = statusError
+		resp.Error = err.Error()
+		return resp
+	}
+	popts := parallel.Options{
+		Nodes:   req.Nodes,
+		Timeout: time.Duration(req.CommTimeoutSec * float64(time.Second)),
+		Cancel:  cancel,
+		Core: core.Options{
+			Tol:             req.Tol,
+			MaxModes:        req.MaxModes,
+			Workers:         req.Workers,
+			DisableHybrid:   req.NoHybrid,
+			MemBudget:       req.MemBudget,
+			StrictMemBudget: req.StrictMem,
+			SpillDir:        w.opts.SpillDir,
+		},
+	}
+	if req.Tree {
+		popts.Core.Test = core.CombinatorialTest
+	}
+	start := time.Now()
+	out, err := dnc.ExecClass(red.N, red.Reversibilities(), req.Partition, req.Class, popts)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrMemBudget):
+			resp.Status = statusMemBudget
+		case errors.Is(err, core.ErrBudget):
+			resp.Status = statusBudget
+		default:
+			resp.Status = statusError
+			resp.Error = err.Error()
+		}
+		return resp
+	}
+	atomic.AddInt64(&w.served, 1)
+	if out.Skipped {
+		resp.Status = statusSkipped
+	} else {
+		resp.Status = statusOK
+		resp.Pairs = out.Pairs
+		resp.PeakNodeBytes = out.PeakNodeBytes
+		resp.Supports = encodeSupports(out.Supports, red.N.Cols())
+	}
+	if w.opts.Logf != nil {
+		w.opts.Logf("class %d/%v: %s, %d modes in %v",
+			req.Class, req.Partition, resp.Status, len(out.Supports), time.Since(start).Round(time.Millisecond))
+	}
+	// Outcomes are pure functions of the request (the determinism the
+	// differential harness enforces), so caching them is sound. Budget
+	// statuses are deterministic too but cheap to reproduce and carry
+	// policy (strictness) in the key; only completed classes are kept.
+	w.cachePut(ck, resp)
+	return resp
+}
+
+// reduced parses and reduces the request's network, reusing the previous
+// reduction when the job key matches — every class of one job ships the
+// same canonical network text.
+func (w *Worker) reduced(req *classRequest) (*reduce.Reduced, error) {
+	w.redMu.Lock()
+	defer w.redMu.Unlock()
+	if w.red != nil && w.redKey == req.Key {
+		return w.red, nil
+	}
+	n, err := model.ParseString(req.Network)
+	if err != nil {
+		return nil, fmt.Errorf("parse network: %w", err)
+	}
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: !req.KeepDuplicates})
+	if err != nil {
+		return nil, fmt.Errorf("reduce network: %w", err)
+	}
+	w.redKey, w.red = req.Key, red
+	return red, nil
+}
+
+// cacheKey is the content address of a class request: everything but the
+// connection-scoped sequence number.
+func cacheKey(req *classRequest) string {
+	c := *req
+	c.Seq = 0
+	b, _ := json.Marshal(&c)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func (w *Worker) cacheGet(key string) *classResponse {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	return w.cache[key]
+}
+
+func (w *Worker) cachePut(key string, resp *classResponse) {
+	if w.opts.CacheClasses < 0 {
+		return
+	}
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
+	if _, ok := w.cache[key]; ok {
+		return
+	}
+	for len(w.cacheOrder) >= w.opts.CacheClasses && len(w.cacheOrder) > 0 {
+		oldest := w.cacheOrder[0]
+		w.cacheOrder = w.cacheOrder[1:]
+		delete(w.cache, oldest)
+	}
+	cp := *resp
+	w.cache[key] = &cp
+	w.cacheOrder = append(w.cacheOrder, key)
+}

@@ -62,6 +62,16 @@ type Options struct {
 	// every setting — only wall-clock, Progress arrival order and the
 	// scheduler diagnostics change.
 	GroupConcurrency int
+	// Remote, when set, adds remote dispatch to the scheduler: one
+	// dispatcher per executor slot pulls classes off the same queue the
+	// local groups use (affinity-first, stealing when the affine slot is
+	// busy elsewhere) and runs them on remote workers. GroupConcurrency
+	// may then be 0 — a pure-remote run, where an emergency local group
+	// takes over only if every worker dies with classes outstanding.
+	// Worker loss re-enqueues the class; results stay byte-identical to
+	// the local drivers because workers run the same prepare→enumerate
+	// path (see ExecClass).
+	Remote RemoteExecutor
 	// Progress, when set, is called as each subproblem finishes
 	// (enumerated or left unresolved; infeasible skipped classes are
 	// silent). Under GroupConcurrency > 1 subproblems finish on
@@ -256,7 +266,7 @@ func Run(N *ratmat.Matrix, rev []bool, opts Options) (*Result, error) {
 		}
 	}
 
-	if opts.GroupConcurrency >= 1 {
+	if opts.GroupConcurrency >= 1 || opts.Remote != nil {
 		return runScheduled(N, rev, partition, opts)
 	}
 

@@ -1,0 +1,273 @@
+package dnc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/parallel"
+	"elmocomp/internal/ratmat"
+)
+
+// fakeExec is an in-process RemoteExecutor: each slot runs classes
+// through ExecClass (the real worker path) with optional injected
+// failures, so the scheduler's remote dispatch is tested without any
+// networking underneath.
+type fakeExec struct {
+	N     *ratmat.Matrix
+	rev   []bool
+	popts parallel.Options
+	slots int
+
+	mu   sync.Mutex
+	dead []bool
+	// failures[slot] errors to return (killing the slot on the last one)
+	// before the slot starts serving for real. A nil slice serves clean.
+	failures [][]error
+	runs     int64
+	// gate, when non-nil, blocks healthy slots' Run until an injected
+	// failure fires — so "the other worker pulled a class before the
+	// doomed one failed" cannot race the failure out of the schedule.
+	gate chan struct{}
+}
+
+func newFakeExec(n *ratmat.Matrix, rev []bool, slots int) *fakeExec {
+	return &fakeExec{
+		N: n, rev: rev, slots: slots,
+		dead:     make([]bool, slots),
+		failures: make([][]error, slots),
+	}
+}
+
+func (f *fakeExec) Slots() int { return f.slots }
+
+func (f *fakeExec) Alive(slot int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.dead[slot]
+}
+
+func (f *fakeExec) Affinity(c RemoteClass) int { return int(c.ID) }
+
+func (f *fakeExec) Run(slot int, c RemoteClass, cancel <-chan struct{}) (*ClassOutcome, error) {
+	f.mu.Lock()
+	if f.dead[slot] {
+		f.mu.Unlock()
+		return nil, ErrWorkerLost
+	}
+	if q := f.failures[slot]; len(q) > 0 {
+		err := q[0]
+		f.failures[slot] = q[1:]
+		f.dead[slot] = true // an injected loss kills the slot for the run
+		if f.gate != nil {
+			close(f.gate)
+			f.gate = nil
+		}
+		f.mu.Unlock()
+		return nil, err
+	}
+	g := f.gate
+	f.runs++
+	f.mu.Unlock()
+	if g != nil {
+		select {
+		case <-g:
+		case <-cancel:
+			return nil, ErrWorkerLost
+		}
+	}
+	popts := f.popts
+	popts.Cancel = cancel
+	popts.Core.StrictMemBudget = c.StrictMem
+	return ExecClass(f.N, f.rev, c.Partition, c.ID, popts)
+}
+
+// TestRemoteMatchesSequential: a pure-remote run (no local groups) and a
+// mixed local+remote run must both reproduce the sequential driver's
+// supports and subproblem tree byte-for-byte.
+func TestRemoteMatchesSequential(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	seq, err := Run(red.N, rev, Options{Qsub: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTree, wantSup := treeKey(seq), keysOf(seq.Supports)
+	for _, tc := range []struct {
+		name   string
+		groups int
+		slots  int
+	}{
+		{"pure-remote-2", 0, 2},
+		{"pure-remote-1", 0, 1},
+		{"mixed", 1, 2},
+	} {
+		exec := newFakeExec(red.N, rev, tc.slots)
+		res, err := Run(red.N, rev, Options{Qsub: 2, GroupConcurrency: tc.groups, Remote: exec})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := keysOf(res.Supports); got != wantSup {
+			t.Fatalf("%s: supports differ\n got %s\nwant %s", tc.name, got, wantSup)
+		}
+		if got := treeKey(res); got != wantTree {
+			t.Fatalf("%s: subproblem tree differs\n got %s\nwant %s", tc.name, got, wantTree)
+		}
+		if tc.groups == 0 && res.Sched.RemoteClasses == 0 {
+			t.Fatalf("%s: no classes ran remotely", tc.name)
+		}
+		if res.Sched.RemoteRequeues != 0 {
+			t.Fatalf("%s: %d requeues on a healthy pool", tc.name, res.Sched.RemoteRequeues)
+		}
+	}
+}
+
+// TestRemoteResplitMatchesSequential: budget overflows raised by remote
+// workers (core.ErrBudget through the wire-independent executor) must
+// drive the coordinator's re-split policy into the exact tree the
+// sequential driver builds.
+func TestRemoteResplitMatchesSequential(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	opts := Options{
+		Qsub:     1,
+		MaxDepth: 6,
+		Parallel: parallel.Options{Core: core.Options{MaxModes: 4}},
+	}
+	seq, err := Run(red.N, rev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTree := treeKey(seq)
+	exec := newFakeExec(red.N, rev, 2)
+	exec.popts = opts.Parallel
+	o := opts
+	o.Remote = exec
+	res, err := Run(red.N, rev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := treeKey(res); got != wantTree {
+		t.Fatalf("remote re-split tree differs\n got %s\nwant %s", got, wantTree)
+	}
+	if res.Sched.Resplits == 0 {
+		t.Fatal("no re-splits recorded (MaxModes=4 must overflow)")
+	}
+}
+
+// TestRemoteWorkerLossRequeues: a worker dying mid-class re-enqueues the
+// class (RemoteRequeues counted) and the surviving worker finishes the
+// job with an identical result — the run must not fail.
+func TestRemoteWorkerLossRequeues(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	seq, err := Run(red.N, rev, Options{Qsub: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newFakeExec(red.N, rev, 2)
+	exec.failures[0] = []error{ErrWorkerLost}
+	exec.gate = make(chan struct{})
+	res, err := Run(red.N, rev, Options{Qsub: 2, Remote: exec})
+	if err != nil {
+		t.Fatalf("run failed despite a surviving worker: %v", err)
+	}
+	if got, want := keysOf(res.Supports), keysOf(seq.Supports); got != want {
+		t.Fatalf("supports differ after worker loss\n got %s\nwant %s", got, want)
+	}
+	if got, want := treeKey(res), treeKey(seq); got != want {
+		t.Fatalf("tree differs after worker loss\n got %s\nwant %s", got, want)
+	}
+	if res.Sched.RemoteRequeues != 1 {
+		t.Fatalf("RemoteRequeues = %d, want 1", res.Sched.RemoteRequeues)
+	}
+	if res.Sched.RemoteTimeouts != 0 {
+		t.Fatalf("RemoteTimeouts = %d, want 0 (loss was a crash, not a deadline)", res.Sched.RemoteTimeouts)
+	}
+}
+
+// TestRemoteTimeoutRequeues: the deadline flavor of worker loss must
+// count under both RemoteRequeues and RemoteTimeouts and still complete.
+func TestRemoteTimeoutRequeues(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	exec := newFakeExec(red.N, rev, 2)
+	exec.failures[1] = []error{ErrWorkerTimeout}
+	exec.gate = make(chan struct{})
+	res, err := Run(red.N, rev, Options{Qsub: 2, Remote: exec})
+	if err != nil {
+		t.Fatalf("run failed despite a surviving worker: %v", err)
+	}
+	if res.Sched.RemoteTimeouts != 1 || res.Sched.RemoteRequeues != 1 {
+		t.Fatalf("requeues=%d timeouts=%d, want 1/1",
+			res.Sched.RemoteRequeues, res.Sched.RemoteTimeouts)
+	}
+	if got := keysOf(res.Supports); got != keysOf(serialSupports(t, red.N, rev)) {
+		t.Fatalf("supports differ after timeout requeue: %s", got)
+	}
+}
+
+// TestRemoteAllWorkersDieFallback: when every worker dies with classes
+// outstanding and there are no local groups, the emergency local group
+// must finish the job — deadlock or failure here would turn a fleet
+// outage into a lost run.
+func TestRemoteAllWorkersDieFallback(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	exec := newFakeExec(red.N, rev, 2)
+	exec.failures[0] = []error{ErrWorkerLost}
+	exec.failures[1] = []error{ErrWorkerLost}
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = Run(red.N, rev, Options{Qsub: 2, Remote: exec})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("scheduler deadlocked after total worker loss")
+	}
+	if err != nil {
+		t.Fatalf("run failed instead of falling back locally: %v", err)
+	}
+	if got := keysOf(res.Supports); got != keysOf(serialSupports(t, red.N, rev)) {
+		t.Fatalf("fallback supports differ: %s", got)
+	}
+	if res.Sched.RemoteClasses != 0 {
+		t.Fatalf("RemoteClasses = %d on a pool that never served", res.Sched.RemoteClasses)
+	}
+	if res.Sched.RemoteRequeues != 2 {
+		t.Fatalf("RemoteRequeues = %d, want 2", res.Sched.RemoteRequeues)
+	}
+}
+
+// TestRemoteEmptyPoolDegrades: Remote set but zero slots must still run
+// (one local group), not hang with nobody pulling the queue.
+func TestRemoteEmptyPoolDegrades(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	exec := newFakeExec(red.N, rev, 0)
+	res, err := Run(red.N, rev, Options{Qsub: 2, Remote: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := keysOf(res.Supports); got != keysOf(serialSupports(t, red.N, rev)) {
+		t.Fatalf("supports differ: %s", got)
+	}
+}
+
+// TestExecClassValidation: the worker entry point must reject malformed
+// class specs instead of indexing out of range.
+func TestExecClassValidation(t *testing.T) {
+	red := toyReduced(t)
+	rev := red.Reversibilities()
+	if _, err := ExecClass(red.N, rev, []int{red.N.Cols()}, 0, parallel.Options{}); err == nil {
+		t.Fatal("out-of-range partition column accepted")
+	}
+	if _, err := ExecClass(red.N, rev, []int{0}, 7, parallel.Options{}); err == nil {
+		t.Fatal("out-of-range class ID accepted")
+	}
+}

@@ -70,16 +70,24 @@ type scheduler struct {
 	N      *ratmat.Matrix
 	rev    []bool
 	opts   Options
-	groups int
+	groups int // local node groups (may be 0 under a pure-remote run)
+	remote RemoteExecutor
 
 	latch *cluster.Latch
 	rec   *stats.SchedRecorder
+	wg    sync.WaitGroup // group + dispatcher goroutines (fallback included)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   itemQueue
 	pending int // items enqueued or being worked; 0 + empty queue = done
 	seq     int
+	// aliveSlots counts remote dispatchers still usable. When it hits 0
+	// with classes outstanding and no local groups, the last dying
+	// dispatcher spawns one emergency local group so the job finishes
+	// instead of deadlocking (fallback latches it to once).
+	aliveSlots int
+	fallback   bool
 
 	// progressMu serializes the user's Progress callback across groups.
 	progressMu sync.Mutex
@@ -101,15 +109,27 @@ func runScheduled(N *ratmat.Matrix, rev []bool, partition []int, opts Options) (
 		rev:    rev,
 		opts:   opts,
 		groups: opts.GroupConcurrency,
+		remote: opts.Remote,
 		latch:  cluster.NewLatch(),
 		rec:    stats.NewSchedRecorder(),
 	}
+	slots := 0
+	if s.remote != nil {
+		slots = s.remote.Slots()
+	}
+	if s.groups == 0 && slots == 0 {
+		// Remote mode with an empty pool: degrade to one local group.
+		s.groups = 1
+	}
+	s.aliveSlots = slots
 	s.cond = sync.NewCond(&s.mu)
 	nodes := opts.Parallel.Nodes
 	if nodes <= 0 {
 		nodes = 1
 	}
-	s.groupBytes = make([][]int64, s.groups)
+	// One slot beyond the local groups so the emergency fallback group
+	// of a pure-remote run has a residency row of its own.
+	s.groupBytes = make([][]int64, s.groups+1)
 	for g := range s.groupBytes {
 		s.groupBytes[g] = make([]int64, nodes)
 	}
@@ -160,15 +180,21 @@ func runScheduled(N *ratmat.Matrix, rev []bool, partition []int, opts Options) (
 		}
 	}()
 
-	var wg sync.WaitGroup
 	for g := 0; g < s.groups; g++ {
-		wg.Add(1)
+		s.wg.Add(1)
 		go func(group int) {
-			defer wg.Done()
+			defer s.wg.Done()
 			s.groupLoop(group)
 		}(g)
 	}
-	wg.Wait()
+	for sl := 0; sl < slots; sl++ {
+		s.wg.Add(1)
+		go func(slot int) {
+			defer s.wg.Done()
+			s.remoteLoop(slot)
+		}(sl)
+	}
+	s.wg.Wait()
 	close(stop)
 	watchers.Wait()
 
@@ -299,6 +325,210 @@ func (s *scheduler) runItem(group int, it *schedItem) {
 	}
 	sub.Unresolved = true
 	s.rec.UnresolvedClass()
+	s.progress(sub)
+}
+
+// remoteLoop is one executor slot's dispatcher: pull the slot's affine
+// class (or steal the globally largest one), run it on the slot's
+// worker, repeat. A lost worker requeues its class and — once the slot
+// is confirmed dead — retires this dispatcher; the last dispatcher to
+// die with classes outstanding and no local groups spawns an emergency
+// local group so the run completes instead of deadlocking.
+func (s *scheduler) remoteLoop(slot int) {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && s.pending > 0 && s.latch.Cause() == nil {
+			s.cond.Wait()
+		}
+		if s.latch.Cause() != nil || len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		s.rec.Steal(len(s.queue))
+		it, stolen := s.popFor(slot)
+		s.mu.Unlock()
+
+		done := s.runRemoteItem(slot, it, stolen)
+
+		s.mu.Lock()
+		if done {
+			s.pending--
+			if s.pending == 0 {
+				s.cond.Broadcast()
+			}
+		}
+		dead := !s.remote.Alive(slot)
+		if dead {
+			s.aliveSlots--
+			if s.aliveSlots == 0 && s.groups == 0 && !s.fallback &&
+				s.pending > 0 && s.latch.Cause() == nil {
+				s.fallback = true
+				s.wg.Add(1) // safe: this goroutine's Done has not run yet
+				go func() {
+					defer s.wg.Done()
+					s.groupLoop(len(s.groupBytes) - 1) // the spare residency row
+				}()
+			}
+		}
+		s.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// popFor removes the best queued item for a slot: the largest one whose
+// consistent-hash affinity points at this slot, else — work-stealing —
+// the largest overall. Caller holds s.mu and guarantees a non-empty
+// queue. The second return marks a steal (off-affinity pull).
+func (s *scheduler) popFor(slot int) (*schedItem, bool) {
+	slots := s.remote.Slots()
+	best := -1
+	for i := range s.queue {
+		if s.affinitySlot(s.queue[i], slots) != slot {
+			continue
+		}
+		if best < 0 || s.queue.Less(i, best) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return heap.Remove(&s.queue, best).(*schedItem), false
+	}
+	return heap.Pop(&s.queue).(*schedItem), true
+}
+
+// affinitySlot maps an item's executor affinity onto a valid slot.
+func (s *scheduler) affinitySlot(it *schedItem, slots int) int {
+	if slots <= 0 {
+		return 0
+	}
+	a := s.remote.Affinity(s.remoteSpec(it, false)) % slots
+	if a < 0 {
+		a += slots
+	}
+	return a
+}
+
+// remoteSpec builds the wire-independent class description for an item.
+func (s *scheduler) remoteSpec(it *schedItem, strict bool) RemoteClass {
+	return RemoteClass{
+		ID:        it.sub.ID,
+		Partition: it.sub.Partition,
+		Depth:     it.sub.Depth,
+		StrictMem: strict,
+		Est:       it.prep.est,
+		Label:     classLabel(it.sub),
+	}
+}
+
+// requeue pushes a worker-lost item back with a fresh sequence number
+// but WITHOUT touching pending: the item never left the
+// enqueued-or-being-worked state, it just changes hands.
+func (s *scheduler) requeue(it *schedItem) {
+	s.mu.Lock()
+	it.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, it)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// runRemoteItem runs one class on a slot's worker, mirroring runItem's
+// budget policy. It reports whether the item reached a terminal state:
+// false means the worker was lost and the class went back on the queue
+// (pending must not be decremented).
+func (s *scheduler) runRemoteItem(slot int, it *schedItem, stolen bool) (done bool) {
+	sub := it.sub
+	// Same strictness rule as runItem: fail fast while re-split depth
+	// remains, let the store spill at the limit.
+	strict := s.opts.Parallel.Core.MemBudget > 0 && sub.Depth < s.opts.MaxDepth
+	spec := s.remoteSpec(it, strict)
+	s.rec.BeginClass()
+	start := time.Now()
+	out, err := s.remote.Run(slot, spec, s.latch.Done())
+	if err == nil {
+		s.adoptOutcome(sub, out, spec, start, stolen)
+		return true
+	}
+	s.rec.AbortClass()
+	if errors.Is(err, ErrWorkerLost) {
+		s.rec.RemoteRequeue(errors.Is(err, ErrWorkerTimeout))
+		s.requeue(it)
+		return false
+	}
+	if !errors.Is(err, core.ErrBudget) {
+		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
+		return true
+	}
+	memTriggered := errors.Is(err, core.ErrMemBudget)
+	if sub.Depth < s.opts.MaxDepth {
+		rerr := s.resplitEnqueue(sub)
+		if rerr == nil {
+			if memTriggered {
+				sub.MemResplit = true
+				s.rec.MemResplit()
+			}
+			return true
+		}
+		if !memTriggered || !errors.Is(rerr, errNoRefinement) {
+			s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, rerr))
+			return true
+		}
+		// Memory re-split with no refinement reaction left: soft retry.
+	}
+	if memTriggered {
+		// Re-run on the same worker without strictness so its store
+		// compresses and spills the class to completion.
+		spec.StrictMem = false
+		s.rec.BeginClass()
+		start = time.Now()
+		out, err = s.remote.Run(slot, spec, s.latch.Done())
+		if err == nil {
+			s.adoptOutcome(sub, out, spec, start, stolen)
+			return true
+		}
+		s.rec.AbortClass()
+		if errors.Is(err, ErrWorkerLost) {
+			s.rec.RemoteRequeue(errors.Is(err, ErrWorkerTimeout))
+			s.requeue(it)
+			return false
+		}
+		if errors.Is(err, core.ErrBudget) {
+			// The soft retry can still blow the mode-count budget.
+			sub.Unresolved = true
+			s.rec.UnresolvedClass()
+			s.progress(sub)
+			return true
+		}
+		s.latch.Trip(fmt.Errorf("dnc: subset %d: %w", sub.ID, err))
+		return true
+	}
+	sub.Unresolved = true
+	s.rec.UnresolvedClass()
+	s.progress(sub)
+	return true
+}
+
+// adoptOutcome folds a completed remote class into its subproblem shell
+// and records the completion.
+func (s *scheduler) adoptOutcome(sub *Subproblem, out *ClassOutcome, spec RemoteClass, start time.Time, stolen bool) {
+	sub.Supports = out.Supports
+	sub.Pairs = out.Pairs
+	sub.PeakNodeBytes = out.PeakNodeBytes
+	if out.Skipped {
+		// Unreachable for dispatched classes (the coordinator prepared
+		// them before enqueueing), but honor a worker's verdict anyway.
+		sub.Skipped = true
+	}
+	s.rec.RemoteClass(stolen)
+	s.rec.EndClass(stats.SchedClass{
+		Label:   spec.Label,
+		Depth:   sub.Depth,
+		Seconds: time.Since(start).Seconds(),
+		Pairs:   sub.Pairs,
+		EFMs:    len(sub.Supports),
+	})
 	s.progress(sub)
 }
 

@@ -1,0 +1,85 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/distrib"
+)
+
+// TestCoordinatorDispatchesToWorkers: a manager with Config.Remote runs
+// divide-and-conquer jobs on the worker fleet and serial jobs locally,
+// and its /varz snapshot carries the per-worker counters.
+func TestCoordinatorDispatchesToWorkers(t *testing.T) {
+	w1, err := distrib.NewWorker("127.0.0.1:0", distrib.WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w1.Serve()
+	defer w1.Close()
+	w2, err := distrib.NewWorker("127.0.0.1:0", distrib.WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w2.Serve()
+	defer w2.Close()
+
+	pool := distrib.NewPool([]string{w1.Addr(), w2.Addr()},
+		distrib.PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	m := New(Config{Workers: 1, Remote: pool, CacheBytes: -1})
+	defer shutdown(t, m)
+
+	local := toyRequest(t, elmocomp.Config{})
+	ref, err := elmocomp.ComputeEFMs(local.Network, local.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := toyRequest(t, elmocomp.Config{Algorithm: elmocomp.DivideAndConquer, Qsub: 2})
+	j, err := m.Submit(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "distributed job", func() bool { return j.State().Terminal() })
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("distributed job failed: %v", err)
+	}
+	if res.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("distributed fingerprint %016x != local %016x", res.Fingerprint(), ref.Fingerprint())
+	}
+	if res.Scheduler == nil || res.Scheduler.RemoteClasses == 0 {
+		t.Fatalf("no classes ran remotely: %+v", res.Scheduler)
+	}
+
+	// Serial jobs bypass the fleet entirely.
+	j, err = m.Submit(toyRequest(t, elmocomp.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "serial job", func() bool { return j.State().Terminal() })
+	if res, err = j.Result(); err != nil {
+		t.Fatalf("serial job failed: %v", err)
+	}
+	if res.Fingerprint() != ref.Fingerprint() {
+		t.Fatal("serial fingerprint differs")
+	}
+
+	st := m.Stats()
+	if st.Counters.RemoteClasses == 0 {
+		t.Error("manager counters missed the remote classes")
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("stats carry %d workers, want 2", len(st.Workers))
+	}
+	var dispatched int64
+	for _, ws := range st.Workers {
+		dispatched += ws.Dispatched
+	}
+	if dispatched == 0 {
+		t.Error("worker stats show no dispatches")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"elmocomp"
 	"elmocomp/internal/cluster"
+	"elmocomp/internal/distrib"
 )
 
 // The manager's failure vocabulary.
@@ -91,8 +92,14 @@ type Config struct {
 	// configuration — remote clients cannot choose server filesystem
 	// paths.
 	SpillDir string
+	// Remote, when set, makes the manager a coordinator: every admitted
+	// divide-and-conquer job dispatches its class queue onto this worker
+	// pool (elmocomp.ComputeEFMsDistributed); other algorithms still run
+	// locally. Ignored when Compute is set.
+	Remote *distrib.Pool
 	// Compute overrides the driver entry point (tests). Nil means
-	// elmocomp.ComputeEFMsCancel.
+	// elmocomp.ComputeEFMsCancel, or the distributed driver when Remote
+	// is set.
 	Compute ComputeFunc
 }
 
@@ -114,6 +121,13 @@ type Counters struct {
 	SchedSteals     int64 `json:"sched_steals"`
 	SchedResplits   int64 `json:"sched_resplits"`
 	SchedUnresolved int64 `json:"sched_unresolved"`
+	// Remote-dispatch totals summed over completed coordinator runs
+	// (zero unless Config.Remote is set): classes completed on workers,
+	// classes re-enqueued after a lost worker, and the subset of losses
+	// declared by the per-class deadline.
+	RemoteClasses  int64 `json:"remote_classes"`
+	RemoteRequeues int64 `json:"remote_requeues"`
+	RemoteTimeouts int64 `json:"remote_timeouts"`
 	// Between-rounds store totals summed over completed runs
 	// (elmocomp.StoreStats): how often surviving mode sets were held
 	// compressed or spilled to disk, and the memory-budget re-splits.
@@ -135,6 +149,9 @@ type Stats struct {
 	// MaxResidentBytes admission check compares against.
 	ResidentBytes int64 `json:"resident_bytes"`
 	Draining      bool  `json:"draining"`
+	// Workers snapshots the coordinator's per-worker link counters
+	// (Config.Remote only; omitted otherwise).
+	Workers []distrib.WorkerStats `json:"workers,omitempty"`
 }
 
 // Manager owns the job lifecycle. Construct with New, stop with
@@ -183,7 +200,11 @@ func New(cfg Config) *Manager {
 		inflight: make(map[string]*Job),
 	}
 	if m.compute == nil {
+		pool := cfg.Remote
 		m.compute = func(req Request, cancel <-chan struct{}) (*elmocomp.Result, error) {
+			if pool != nil && req.Config.Algorithm == elmocomp.DivideAndConquer {
+				return elmocomp.ComputeEFMsDistributed(req.Network, req.Config, cancel, pool)
+			}
 			return elmocomp.ComputeEFMsCancel(req.Network, req.Config, cancel)
 		}
 	}
@@ -431,6 +452,9 @@ func (m *Manager) runJob(j *Job) {
 		m.counters.SchedSteals += res.Scheduler.Steals
 		m.counters.SchedResplits += res.Scheduler.Resplits
 		m.counters.SchedUnresolved += res.Scheduler.Unresolved
+		m.counters.RemoteClasses += res.Scheduler.RemoteClasses
+		m.counters.RemoteRequeues += res.Scheduler.RemoteRequeues
+		m.counters.RemoteTimeouts += res.Scheduler.RemoteTimeouts
 	}
 	m.retireLocked(j)
 	m.mu.Unlock()
@@ -440,7 +464,7 @@ func (m *Manager) runJob(j *Job) {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Counters:      m.counters,
 		Cache:         m.cache.Stats(),
 		Queued:        m.queued,
@@ -449,6 +473,10 @@ func (m *Manager) Stats() Stats {
 		ResidentBytes: m.resident,
 		Draining:      m.draining,
 	}
+	if m.cfg.Remote != nil {
+		s.Workers = m.cfg.Remote.Stats()
+	}
+	return s
 }
 
 // Draining reports whether the manager has begun shutdown.

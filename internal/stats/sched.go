@@ -44,6 +44,23 @@ type SchedStats struct {
 	MemResplits int64
 	// Unresolved counts classes abandoned at the re-split depth limit.
 	Unresolved int64
+	// RemoteClasses counts classes completed on a remote worker
+	// (coordinator/worker runs only; a class re-run locally after every
+	// worker died is not counted here).
+	RemoteClasses int64
+	// RemoteSteals counts classes a remote dispatcher pulled off the
+	// queue against the consistent-hash affinity — work-stealing across
+	// workers when the affine dispatcher was busy.
+	RemoteSteals int64
+	// RemoteRequeues counts classes pushed back onto the queue after the
+	// worker running them was lost (crash, link failure, or timeout).
+	// Like MemResplits, a resilience counter: nonzero means the run
+	// survived a fault, not that it failed.
+	RemoteRequeues int64
+	// RemoteTimeouts counts the subset of RemoteRequeues caused by a
+	// class exceeding the coordinator's per-class deadline on a wedged
+	// worker.
+	RemoteTimeouts int64
 	// MaxQueueDepth is the largest queue length observed at any
 	// enqueue or steal.
 	MaxQueueDepth int
@@ -62,6 +79,10 @@ func (s *SchedStats) Table() *Table {
 	}
 	tb.AddNote("queue: %d enqueued, %d steals, %d re-splits (%d by memory), %d unresolved; peak depth %d, peak active groups %d",
 		s.Enqueued, s.Steals, s.Resplits, s.MemResplits, s.Unresolved, s.MaxQueueDepth, s.MaxActive)
+	if s.RemoteClasses > 0 || s.RemoteRequeues > 0 {
+		tb.AddNote("remote: %d classes on workers (%d stolen off-affinity), %d requeues after worker loss (%d by timeout)",
+			s.RemoteClasses, s.RemoteSteals, s.RemoteRequeues, s.RemoteTimeouts)
+	}
 	return tb
 }
 
@@ -123,6 +144,28 @@ func (r *SchedRecorder) UnresolvedClass() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.s.Unresolved++
+}
+
+// RemoteClass records a class completed on a remote worker; stolen marks
+// a pull that ignored the consistent-hash affinity.
+func (r *SchedRecorder) RemoteClass(stolen bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.RemoteClasses++
+	if stolen {
+		r.s.RemoteSteals++
+	}
+}
+
+// RemoteRequeue records a class pushed back after its worker was lost;
+// timeout marks the per-class-deadline flavor of the loss.
+func (r *SchedRecorder) RemoteRequeue(timeout bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.RemoteRequeues++
+	if timeout {
+		r.s.RemoteTimeouts++
+	}
 }
 
 // BeginClass marks a group entering enumeration (peak-active tracking).

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -156,13 +157,21 @@ func ParseBytes(s string) (int64, error) {
 		}
 	}
 	v, err := strconv.ParseFloat(t, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(v) {
 		return 0, fmt.Errorf("bad byte size %q", s)
 	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative byte size %q", s)
 	}
-	return int64(v * float64(mult)), nil
+	// The float→int64 conversion of any value at or above 2^63 is
+	// unspecified in Go (it used to wrap silently here); float64(MaxInt64)
+	// rounds up to exactly 2^63, so `<` is the precise safe-range test.
+	// +Inf ("inf", "1e999") fails it too.
+	out := v * float64(mult)
+	if out >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("byte size %q overflows int64", s)
+	}
+	return int64(out), nil
 }
 
 // Seconds formats seconds with adaptive precision.

@@ -111,6 +111,8 @@ func TestParseBytes(t *testing.T) {
 		"2M":      2 << 20,
 		"1T":      1 << 40,
 		" 512 B ": 512,
+		// Largest whole-T size below 2^63: must survive the overflow guard.
+		"8388607T": 8388607 << 40,
 	}
 	for in, want := range cases {
 		got, err := ParseBytes(in)
@@ -120,7 +122,13 @@ func TestParseBytes(t *testing.T) {
 			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
 		}
 	}
-	for _, in := range []string{"", "x", "12abc", "-1", "1Q"} {
+	for _, in := range []string{"", "x", "12abc", "-1", "1Q",
+		// int64 overflow: the float product reaches 2^63, where the
+		// float→int conversion result is unspecified — must error, not wrap.
+		"99999999999T", "8388608T", "9223372036854775808", "1e30",
+		// Non-finite floats parse but cannot convert either.
+		"inf", "+Inf", "nan", "1e999",
+	} {
 		if got, err := ParseBytes(in); err == nil {
 			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
 		}

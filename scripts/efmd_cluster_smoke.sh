@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed efmd deployment: build the daemon,
+# start two -worker processes and one -coordinator over them, submit a
+# divide-and-conquer job through the HTTP API, check its fingerprint
+# against a direct library run, kill -9 one worker, submit another job
+# against the degraded fleet, and confirm the coordinator's /varz
+# carries the per-worker dispatch counters.
+#
+# Needs curl and jq. Exits non-zero on the first failed assertion.
+set -euo pipefail
+
+PORT="${EFMD_PORT:-9178}"
+WPORT1="${EFMD_WORKER_PORT1:-9179}"
+WPORT2="${EFMD_WORKER_PORT2:-9180}"
+BASE="http://127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build -o "$WORKDIR/efmd" ./cmd/efmd
+go build -o "$WORKDIR/efmcalc" ./cmd/efmcalc
+
+echo "== direct library run (reference)"
+"$WORKDIR/efmcalc" -model toy -algorithm dnc -qsub 2 -json > "$WORKDIR/direct.json"
+REF_FP=$(jq -r .fingerprint "$WORKDIR/direct.json")
+REF_MODES=$(jq -r .modes "$WORKDIR/direct.json")
+echo "   $REF_MODES modes, fingerprint $REF_FP"
+
+echo "== start 2 workers + coordinator"
+"$WORKDIR/efmd" -worker -addr "127.0.0.1:$WPORT1" &
+WORKER1_PID=$!
+PIDS+=("$WORKER1_PID")
+"$WORKDIR/efmd" -worker -addr "127.0.0.1:$WPORT2" &
+PIDS+=($!)
+"$WORKDIR/efmd" -coordinator -peers "127.0.0.1:$WPORT1,127.0.0.1:$WPORT2" \
+  -addr "127.0.0.1:$PORT" -cache-mb 0 &
+PIDS+=($!)
+for i in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 100 ] && fail "coordinator never became healthy"
+  sleep 0.1
+done
+
+echo "== submit dnc job to the full fleet"
+ID=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy","options":{"algorithm":"dnc","qsub":2}}' | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || fail "no job id in submit response"
+LAST_STATE=$(curl -fsS "$BASE/v1/jobs/$ID/events" | tail -1 | jq -r .state)
+[ "$LAST_STATE" = done ] || fail "fleet job ended $LAST_STATE, want done"
+GOT_FP=$(curl -fsS "$BASE/v1/jobs/$ID/result" | jq -r .summary.fingerprint)
+[ "$GOT_FP" = "$REF_FP" ] || fail "distributed fingerprint $GOT_FP != direct $REF_FP"
+echo "   job $ID done, fingerprint matches"
+
+echo "== /varz shows remote dispatch"
+curl -fsS "$BASE/varz" > "$WORKDIR/varz1.json"
+REMOTE=$(jq -r .counters.remote_classes "$WORKDIR/varz1.json")
+[ "$REMOTE" -gt 0 ] || fail "remote_classes is $REMOTE after a distributed job"
+NWORKERS=$(jq -r '.workers | length' "$WORKDIR/varz1.json")
+[ "$NWORKERS" = 2 ] || fail "/varz lists $NWORKERS workers, want 2"
+DISPATCHED=$(jq -r '[.workers[].dispatched] | add' "$WORKDIR/varz1.json")
+[ "$DISPATCHED" -gt 0 ] || fail "no classes dispatched to any worker"
+echo "   $REMOTE classes on $NWORKERS workers ($DISPATCHED dispatched)"
+
+echo "== kill -9 one worker, run against the degraded fleet"
+kill -9 "$WORKER1_PID" 2>/dev/null || true
+wait "$WORKER1_PID" 2>/dev/null || true
+# A different tolerance forks the request key: no coalescing, no cache.
+ID2=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy","options":{"algorithm":"dnc","qsub":2,"tolerance":1e-8}}' | jq -r .id)
+LAST_STATE=$(curl -fsS "$BASE/v1/jobs/$ID2/events" | tail -1 | jq -r .state)
+[ "$LAST_STATE" = done ] || fail "degraded-fleet job ended $LAST_STATE, want done"
+GOT_FP2=$(curl -fsS "$BASE/v1/jobs/$ID2/result" | jq -r .summary.fingerprint)
+[ "$GOT_FP2" = "$REF_FP" ] || fail "degraded-fleet fingerprint $GOT_FP2 != direct $REF_FP"
+DEAD=$(curl -fsS "$BASE/varz" | jq -r '[.workers[] | select(.alive == false)] | length')
+[ "$DEAD" -ge 1 ] || fail "/varz still shows every worker alive after the kill"
+echo "   job $ID2 done on the surviving worker, fingerprint matches ($DEAD worker marked dead)"
+
+echo "PASS: efmd cluster smoke"

@@ -11,6 +11,8 @@ import (
 	"elmocomp/internal/bitset"
 	"elmocomp/internal/cluster"
 	"elmocomp/internal/core"
+	"elmocomp/internal/distrib"
+	"elmocomp/internal/dnc"
 	"elmocomp/internal/reduce"
 )
 
@@ -25,16 +27,57 @@ var ErrCanceled = cluster.ErrCanceled
 // group's abort latch and unwind every node promptly. A nil cancel
 // behaves exactly like ComputeEFMs.
 func ComputeEFMsCancel(n *Network, cfg Config, cancel <-chan struct{}) (*Result, error) {
-	return computeEFMs(n, cfg, cancel)
+	return computeEFMs(n, cfg, cancel, nil)
 }
 
 // ComputeEFMsContext is ComputeEFMsCancel driven by a context: the run
 // aborts when ctx is done, with an error matching ErrCanceled.
 func ComputeEFMsContext(ctx context.Context, n *Network, cfg Config) (*Result, error) {
 	if ctx.Done() == nil {
-		return computeEFMs(n, cfg, nil)
+		return computeEFMs(n, cfg, nil, nil)
 	}
-	return computeEFMs(n, cfg, ctx.Done())
+	return computeEFMs(n, cfg, ctx.Done(), nil)
+}
+
+// ComputeEFMsDistributed runs the divide-and-conquer driver with its
+// class queue dispatched onto the pool's remote workers (the efmd
+// coordinator role). Classes are routed by consistent hash over the
+// request key so a repeated request lands on the same workers' class
+// caches; idle workers steal from other workers' shares; a worker lost
+// mid-class (crash, severed link, or per-class deadline) has its class
+// re-enqueued and rerun elsewhere — or on an emergency local group when
+// the whole fleet is gone — so worker failure degrades throughput, never
+// correctness. The result is fingerprint-identical to the local drivers
+// (the differential harness gates on exactly this).
+//
+// cfg.GroupConcurrency additionally runs that many local node groups
+// alongside the fleet; 0 means classes run remotely only. cfg.Algorithm
+// must be DivideAndConquer — the other drivers have no class queue to
+// distribute.
+func ComputeEFMsDistributed(n *Network, cfg Config, cancel <-chan struct{}, pool *distrib.Pool) (*Result, error) {
+	if pool == nil || pool.Size() == 0 {
+		return nil, fmt.Errorf("elmocomp: distributed run needs a worker pool")
+	}
+	if cfg.Algorithm != DivideAndConquer {
+		return nil, fmt.Errorf("elmocomp: distributed runs require Algorithm == DivideAndConquer")
+	}
+	spec := distrib.JobSpec{
+		Key:            RequestKey(n, cfg),
+		Network:        n.Canonical(),
+		KeepDuplicates: cfg.KeepDuplicateReactions,
+		Tol:            cfg.Tolerance,
+		MaxModes:       cfg.MaxIntermediateModes,
+		Workers:        cfg.Workers,
+		Nodes:          cfg.Nodes,
+		Tree:           cfg.Test == CombinatorialTest,
+		NoHybrid:       cfg.DisableHybridPrefilter,
+		MemBudget:      cfg.MemBudgetBytes,
+		CommTimeoutSec: cfg.CommTimeout.Seconds(),
+	}
+	return computeEFMs(n, cfg, cancel, func(q int) dnc.RemoteExecutor {
+		spec.Q = q
+		return pool.Bind(spec)
+	})
 }
 
 // Canonical renders the network in its byte-stable canonical form: the
