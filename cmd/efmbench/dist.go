@@ -25,7 +25,12 @@ type distEntry struct {
 	RemoteSteals   int64   `json:"remote_steals"`
 	RemoteRequeues int64   `json:"remote_requeues"`
 	RemoteTimeouts int64   `json:"remote_timeouts"`
-	Fingerprint    string  `json:"fingerprint"`
+	// PayloadBytes / WireBytes are fleet totals from the pool's link
+	// accounting: logical class-exchange bytes vs framed bytes actually
+	// on the wire. Their per-class quotient tracks the data-plane cost.
+	PayloadBytes int64  `json:"payload_bytes,omitempty"`
+	WireBytes    int64  `json:"wire_bytes,omitempty"`
+	Fingerprint  string `json:"fingerprint"`
 }
 
 type distReport struct {
@@ -75,11 +80,11 @@ func expDist(cfg benchConfig) error {
 	}
 	sweep := []fleetSpec{{0, false}, {1, false}, {2, false}, {4, false}, {2, true}}
 
-	runFleet := func(fs fleetSpec) (*elmocomp.Result, float64, error) {
+	runFleet := func(fs fleetSpec) (*elmocomp.Result, float64, []distrib.WorkerStats, error) {
 		if fs.size == 0 {
 			start := time.Now()
 			res, err := elmocomp.ComputeEFMs(net, baseCfg)
-			return res, time.Since(start).Seconds(), err
+			return res, time.Since(start).Seconds(), nil, err
 		}
 		var addrs []string
 		var workers []*distrib.Worker
@@ -95,7 +100,7 @@ func expDist(cfg benchConfig) error {
 			}
 			w, err := distrib.NewWorker("127.0.0.1:0", opts)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, nil, err
 			}
 			go w.Serve()
 			workers = append(workers, w)
@@ -105,15 +110,15 @@ func expDist(cfg benchConfig) error {
 		defer pool.Close()
 		start := time.Now()
 		res, err := elmocomp.ComputeEFMsDistributed(net, baseCfg, nil, pool)
-		return res, time.Since(start).Seconds(), err
+		return res, time.Since(start).Seconds(), pool.Stats(), err
 	}
 
 	tb := stats.NewTable("coordinator/worker sharding over loopback TCP (qsub=3, pure remote)",
-		"fleet", "wall (s)", "speedup", "EFMs", "remote classes", "steals", "requeues", "fingerprint")
+		"fleet", "wall (s)", "speedup", "EFMs", "remote classes", "steals", "requeues", "payload", "wire", "fingerprint")
 	var base float64
 	var baseFP uint64
 	for _, fs := range sweep {
-		res, elapsed, err := runFleet(fs)
+		res, elapsed, wstats, err := runFleet(fs)
 		if err != nil {
 			return fmt.Errorf("fleet=%d crash=%v: %w", fs.size, fs.crash, err)
 		}
@@ -137,6 +142,10 @@ func expDist(cfg benchConfig) error {
 			entry.RemoteClasses, entry.RemoteSteals = s.RemoteClasses, s.RemoteSteals
 			entry.RemoteRequeues, entry.RemoteTimeouts = s.RemoteRequeues, s.RemoteTimeouts
 		}
+		for _, ws := range wstats {
+			entry.PayloadBytes += ws.PayloadBytes
+			entry.WireBytes += ws.WireBytes
+		}
 		report.Results = append(report.Results, entry)
 		label := fmt.Sprintf("%d", fs.size)
 		if fs.size == 0 {
@@ -144,9 +153,14 @@ func expDist(cfg benchConfig) error {
 		} else if fs.crash {
 			label = fmt.Sprintf("%d (1 crash)", fs.size)
 		}
+		payload, wire := "-", "-"
+		if fs.size > 0 {
+			payload, wire = stats.Bytes(entry.PayloadBytes), stats.Bytes(entry.WireBytes)
+		}
 		tb.AddRow(label, stats.Seconds(elapsed), fmt.Sprintf("%.2fx", entry.Speedup),
 			stats.Count(int64(entry.EFMs)), stats.Count(entry.RemoteClasses),
-			stats.Count(entry.RemoteSteals), stats.Count(entry.RemoteRequeues), entry.Fingerprint)
+			stats.Count(entry.RemoteSteals), stats.Count(entry.RemoteRequeues),
+			payload, wire, entry.Fingerprint)
 	}
 	tb.AddNote("fingerprints gate the rows: every fleet (even with the injected crash) must match local")
 	tb.AddNote("loopback TCP: serialization costs are real, network latency is not")

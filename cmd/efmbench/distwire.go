@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/distrib"
+	"elmocomp/internal/stats"
+)
+
+// distwireEntry is one data-plane configuration of the same job.
+type distwireEntry struct {
+	Mode          string `json:"mode"` // local | v1 | v2
+	NsPerOp       int64  `json:"ns_per_op"`
+	EFMs          int    `json:"efms"`
+	RemoteClasses int64  `json:"remote_classes"`
+	PayloadBytes  int64  `json:"payload_bytes,omitempty"`
+	WireBytes     int64  `json:"wire_bytes,omitempty"`
+	WirePerClass  int64  `json:"wire_per_class,omitempty"`
+	Proto         int    `json:"proto,omitempty"`
+	Fingerprint   string `json:"fingerprint"`
+}
+
+type distwireReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Network    string          `json:"network"`
+	Qsub       int             `json:"qsub"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []distwireEntry `json:"results"`
+	// WireReduction is v1 wire-bytes-per-class over v2's: the data-plane
+	// win from binary framing, spec interning, and payload compression.
+	WireReduction float64 `json:"wire_reduction"`
+}
+
+// expDistwire measures the distributed data plane itself: the same
+// 2-worker job run once over protocol-1 framing (JSON bodies, full spec
+// per class, one class in flight) and once over protocol 2 (binary
+// bodies, interned specs, compressed payloads, in-flight credit 2).
+// Fingerprints must match the local baseline on both, and v2 must ship
+// at least 3x fewer wire bytes per class — the experiment fails
+// otherwise.
+func expDistwire(cfg benchConfig) error {
+	var net *elmocomp.Network
+	var err error
+	if cfg.full {
+		net, err = elmocomp.Builtin("yeast1")
+	} else {
+		net, err = mediumWorkload()
+	}
+	if err != nil {
+		return err
+	}
+	report := distwireReport{
+		Benchmark:  "distwire",
+		Network:    net.Name(),
+		Qsub:       3,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	baseCfg := elmocomp.Config{
+		Algorithm:   elmocomp.DivideAndConquer,
+		Qsub:        report.Qsub,
+		Nodes:       1,
+		Workers:     1,
+		CommTimeout: cfg.commTimeout,
+		Progress:    progress(cfg),
+	}
+
+	run := func(mode string, popts *distrib.PoolOptions) (distwireEntry, error) {
+		entry := distwireEntry{Mode: mode}
+		if popts == nil {
+			start := time.Now()
+			res, err := elmocomp.ComputeEFMs(net, baseCfg)
+			if err != nil {
+				return entry, err
+			}
+			entry.NsPerOp = int64(time.Since(start).Nanoseconds())
+			entry.EFMs = res.Len()
+			entry.Fingerprint = fmt.Sprintf("%016x", res.Fingerprint())
+			return entry, nil
+		}
+		// Fresh workers per mode: no class cache or interned spec leaks
+		// between the runs being compared.
+		var addrs []string
+		var workers []*distrib.Worker
+		defer func() {
+			for _, w := range workers {
+				w.Close()
+			}
+		}()
+		for i := 0; i < 2; i++ {
+			w, err := distrib.NewWorker("127.0.0.1:0", distrib.WorkerOptions{})
+			if err != nil {
+				return entry, err
+			}
+			go w.Serve()
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+		}
+		popts.ClassTimeout = 10 * time.Minute
+		pool := distrib.NewPool(addrs, *popts)
+		defer pool.Close()
+		start := time.Now()
+		res, err := elmocomp.ComputeEFMsDistributed(net, baseCfg, nil, pool)
+		if err != nil {
+			return entry, err
+		}
+		entry.NsPerOp = int64(time.Since(start).Nanoseconds())
+		entry.EFMs = res.Len()
+		entry.Fingerprint = fmt.Sprintf("%016x", res.Fingerprint())
+		if res.Scheduler != nil {
+			entry.RemoteClasses = res.Scheduler.RemoteClasses
+		}
+		for _, ws := range pool.Stats() {
+			entry.PayloadBytes += ws.PayloadBytes
+			entry.WireBytes += ws.WireBytes
+			if ws.Proto > entry.Proto {
+				entry.Proto = ws.Proto
+			}
+		}
+		if entry.RemoteClasses > 0 {
+			entry.WirePerClass = entry.WireBytes / entry.RemoteClasses
+		}
+		return entry, nil
+	}
+
+	local, err := run("local", nil)
+	if err != nil {
+		return fmt.Errorf("local baseline: %w", err)
+	}
+	v1, err := run("v1", &distrib.PoolOptions{ForceProto: 1, Inflight: 1, NoCompress: true})
+	if err != nil {
+		return fmt.Errorf("protocol-1 run: %w", err)
+	}
+	v2, err := run("v2", &distrib.PoolOptions{})
+	if err != nil {
+		return fmt.Errorf("protocol-2 run: %w", err)
+	}
+	report.Results = []distwireEntry{local, v1, v2}
+
+	for _, e := range []distwireEntry{v1, v2} {
+		if e.Fingerprint != local.Fingerprint {
+			return fmt.Errorf("%s fingerprint %s differs from local %s", e.Mode, e.Fingerprint, local.Fingerprint)
+		}
+		if e.RemoteClasses == 0 {
+			return fmt.Errorf("%s run dispatched no remote classes", e.Mode)
+		}
+	}
+	if v1.Proto != 1 || v2.Proto != 2 {
+		return fmt.Errorf("negotiated protocols v1=%d v2=%d, want 1 and 2", v1.Proto, v2.Proto)
+	}
+	if v2.WirePerClass <= 0 || v1.WirePerClass <= 0 {
+		return fmt.Errorf("missing wire accounting: v1=%d v2=%d bytes/class", v1.WirePerClass, v2.WirePerClass)
+	}
+	report.WireReduction = float64(v1.WirePerClass) / float64(v2.WirePerClass)
+
+	tb := stats.NewTable("distributed data plane: protocol-1 JSON vs protocol-2 binary+interning+compression (2 workers, qsub=3)",
+		"mode", "wall (s)", "EFMs", "classes", "payload", "wire", "wire/class", "fingerprint")
+	for _, e := range report.Results {
+		payload, wire, perClass := "-", "-", "-"
+		if e.Mode != "local" {
+			payload, wire = stats.Bytes(e.PayloadBytes), stats.Bytes(e.WireBytes)
+			perClass = stats.Bytes(e.WirePerClass)
+		}
+		tb.AddRow(e.Mode, stats.Seconds(float64(e.NsPerOp)/1e9), stats.Count(int64(e.EFMs)),
+			stats.Count(e.RemoteClasses), payload, wire, perClass, e.Fingerprint)
+	}
+	tb.AddNote(fmt.Sprintf("wire reduction: %.1fx fewer wire bytes per class on protocol 2", report.WireReduction))
+	tb.AddNote("fingerprints gate the rows; the experiment fails below a 3x reduction")
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if report.WireReduction < 3 {
+		return fmt.Errorf("wire reduction %.2fx below the 3x gate (v1 %d B/class, v2 %d B/class)",
+			report.WireReduction, v1.WirePerClass, v2.WirePerClass)
+	}
+
+	if cfg.distwireJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.distwireJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.distwireJSONPath)
+	}
+	return nil
+}

@@ -38,8 +38,9 @@ type benchConfig struct {
 	jsonPath        string
 	hybridJSONPath  string
 	dncJSONPath     string
-	memwallJSONPath string
-	distJSONPath    string
+	memwallJSONPath  string
+	distJSONPath     string
+	distwireJSONPath string
 }
 
 type experiment struct {
@@ -62,6 +63,7 @@ var experiments = []experiment{
 	{"dnc-sched", "divide-and-conquer subproblem scheduler across group counts (writes BENCH_dnc.json)", expDncSched},
 	{"memwall", "compressed and spill mode-store tiers vs flat on the pointed workload (writes BENCH_memwall.json)", expMemwall},
 	{"dist", "coordinator/worker class sharding over loopback TCP across fleet sizes (writes BENCH_dist.json)", expDist},
+	{"distwire", "distributed data plane: protocol-1 JSON vs protocol-2 binary/interned/compressed links (writes BENCH_distwire.json)", expDistwire},
 }
 
 func main() {
@@ -75,7 +77,8 @@ func main() {
 		hybridJSON  = flag.String("hybrid-json", "BENCH_hybrid.json", "machine-readable output file for the hybrid experiment")
 		dncJSON     = flag.String("dnc-json", "BENCH_dnc.json", "machine-readable output file for the dnc-sched experiment")
 		memwallJSON = flag.String("memwall-json", "BENCH_memwall.json", "machine-readable output file for the memwall experiment")
-		distJSON    = flag.String("dist-json", "BENCH_dist.json", "machine-readable output file for the dist experiment")
+		distJSON     = flag.String("dist-json", "BENCH_dist.json", "machine-readable output file for the dist experiment")
+		distwireJSON = flag.String("distwire-json", "BENCH_distwire.json", "machine-readable output file for the distwire experiment")
 		groups      = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
 		budget      = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		commTO      = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
@@ -97,7 +100,7 @@ func main() {
 	}
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
 		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON,
-		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON}
+		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON, distwireJSONPath: *distwireJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

@@ -218,10 +218,12 @@ func TestPoolWorkerCrash(t *testing.T) {
 		t.Fatalf("fingerprint differs after worker crash")
 	}
 	// The doomed worker crashes on the first class it receives; whether
-	// it receives one is a scheduling race, so the requeue count is 0 or
-	// 1 — never more, and never a failed job.
-	if res.Sched.RemoteRequeues > 1 {
-		t.Fatalf("RemoteRequeues = %d, want <= 1", res.Sched.RemoteRequeues)
+	// it receives one is a scheduling race, and the link's in-flight
+	// credit (default 2) may have pipelined a second class behind the
+	// fatal one — so the requeue count is 0..2, never more, and never a
+	// failed job.
+	if res.Sched.RemoteRequeues > 2 {
+		t.Fatalf("RemoteRequeues = %d, want <= 2", res.Sched.RemoteRequeues)
 	}
 }
 
@@ -270,9 +272,14 @@ func TestPoolWedgedWorkerTimeout(t *testing.T) {
 	if fp(res.Supports) != fp(seq.Supports) {
 		t.Fatal("fingerprint differs after wedge timeout")
 	}
-	if res.Sched.RemoteTimeouts != 1 || res.Sched.RemoteRequeues != 1 {
-		t.Fatalf("requeues=%d timeouts=%d, want 1/1",
-			res.Sched.RemoteRequeues, res.Sched.RemoteTimeouts)
+	// Exactly one caller wins the sever race and classifies as timeout;
+	// a class pipelined behind the wedged one on the link's second
+	// credit-slot fails as plain worker-lost, so requeues are 1 or 2.
+	if res.Sched.RemoteTimeouts != 1 {
+		t.Fatalf("RemoteTimeouts = %d, want 1", res.Sched.RemoteTimeouts)
+	}
+	if r := res.Sched.RemoteRequeues; r < 1 || r > 2 {
+		t.Fatalf("RemoteRequeues = %d, want 1 or 2", r)
 	}
 	if st := pool.Stats()[0]; st.Timeouts != 1 {
 		t.Fatalf("pool recorded %d timeouts, want 1", st.Timeouts)
@@ -328,25 +335,48 @@ func TestPoolRedialAcrossJobs(t *testing.T) {
 	}
 }
 
-// TestWorkerProtocolMismatch: a client speaking a different protocol
-// version gets a refusal, not a hung or misparsed connection.
+// TestWorkerProtocolMismatch: the negotiation matrix. Clients within
+// [protoFloor, protoVersion] settle on min(client, worker); a client
+// below the floor, or one whose own floor is above the worker's version,
+// gets a refusal — not a hung or misparsed connection.
 func TestWorkerProtocolMismatch(t *testing.T) {
 	w := startWorker(t, WorkerOptions{})
-	conn, err := net.DialTimeout("tcp", w.Addr(), 2*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(5 * time.Second))
-	if err := writeMsg(conn, helloRequest{Proto: protoVersion + 1}); err != nil {
-		t.Fatal(err)
-	}
-	var resp helloResponse
-	if err := readMsg(conn, &resp, 1<<16); err != nil {
-		t.Fatal(err)
-	}
-	if resp.Error == "" || !strings.Contains(resp.Error, "protocol") {
-		t.Fatalf("mismatched hello not refused: %+v", resp)
+	for _, tc := range []struct {
+		name   string
+		hello  helloRequest
+		want   int  // negotiated version when accepted
+		refuse bool // hello must be refused with an error
+	}{
+		{"v2-v2", helloRequest{Proto: protoVersion, Min: protoFloor}, protoVersion, false},
+		{"v1-client", helloRequest{Proto: 1}, 1, false},
+		{"future-client-downgrades", helloRequest{Proto: protoVersion + 1, Min: protoFloor}, protoVersion, false},
+		{"future-client-floor-too-new", helloRequest{Proto: protoVersion + 1, Min: protoVersion + 1}, 0, true},
+		{"below-floor", helloRequest{Proto: protoFloor - 1}, 0, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.DialTimeout("tcp", w.Addr(), 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(5 * time.Second))
+			if err := writeMsg(conn, tc.hello); err != nil {
+				t.Fatal(err)
+			}
+			var resp helloResponse
+			if err := readMsg(conn, &resp, 1<<16); err != nil {
+				t.Fatal(err)
+			}
+			if tc.refuse {
+				if resp.Error == "" || !strings.Contains(resp.Error, "protocol") {
+					t.Fatalf("hello %+v not refused: %+v", tc.hello, resp)
+				}
+				return
+			}
+			if resp.Error != "" || resp.Proto != tc.want {
+				t.Fatalf("hello %+v negotiated %+v, want protocol %d", tc.hello, resp, tc.want)
+			}
+		})
 	}
 }
 

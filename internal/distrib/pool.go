@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -22,6 +23,19 @@ type PoolOptions struct {
 	ClassTimeout time.Duration
 	// MaxFrameBytes bounds incoming frames (default 256 MiB).
 	MaxFrameBytes int
+	// Inflight is the per-link credit: how many classes may be in flight
+	// on one worker connection at once (default 2). Credit 2 lets a
+	// dispatcher ship the next class while the worker computes the
+	// current one, overlapping transfer with compute; the worker still
+	// executes serially per connection.
+	Inflight int
+	// NoCompress disables asking workers to DEFLATE large support
+	// payloads (protocol 2 links compress by default).
+	NoCompress bool
+	// ForceProto, when > 0, caps the protocol version offered at hello.
+	// Benchmarks and tests use it to run a modern fleet in protocol-1
+	// mode; production leaves it zero.
+	ForceProto int
 }
 
 // JobSpec is the per-job half of a class request: the canonical network
@@ -46,10 +60,10 @@ type JobSpec struct {
 
 // Pool is a fixed fleet of worker links. It implements nothing itself;
 // Bind projects it onto one job as a dnc.RemoteExecutor. Links dial
-// lazily, serialize one in-flight class each, and redial on the next
-// use after a failure — so a worker restarted between jobs rejoins the
-// fleet without coordinator restarts, while within one job the
-// scheduler retires a failed slot after its requeue.
+// lazily, multiplex up to Inflight seq-tagged classes each, and redial
+// on the next use after a failure — so a worker restarted between jobs
+// rejoins the fleet without coordinator restarts, while within one job
+// the scheduler retires a failed slot after its requeue.
 type Pool struct {
 	opts    PoolOptions
 	workers []*workerLink
@@ -64,6 +78,9 @@ func NewPool(addrs []string, opts PoolOptions) *Pool {
 	}
 	if opts.ClassTimeout <= 0 {
 		opts.ClassTimeout = 2 * time.Minute
+	}
+	if opts.Inflight <= 0 {
+		opts.Inflight = 2
 	}
 	p := &Pool{opts: opts, ring: newRing(addrs)}
 	for _, a := range addrs {
@@ -80,25 +97,33 @@ func (p *Pool) Size() int { return len(p.workers) }
 func (p *Pool) Close() {
 	for _, w := range p.workers {
 		w.mu.Lock()
-		if w.conn != nil {
-			w.conn.Close()
-			w.conn = nil
-		}
+		gen := w.gen
+		w.mu.Unlock()
+		w.sever(gen, errors.New("pool closed"))
+		w.mu.Lock()
 		w.down = true
 		w.mu.Unlock()
 	}
 }
 
 // WorkerStats is one worker's coordinator-side counter snapshot, served
-// on /varz.
+// on /varz. PayloadBytes counts the logical bytes of each class exchange
+// (the canonical spec-bearing request encoding plus flat support
+// payloads); WireBytes counts the framed bytes actually sent and
+// received, so their ratio is the data-plane win from interning,
+// binary framing, and compression.
 type WorkerStats struct {
-	Addr       string `json:"addr"`
-	Alive      bool   `json:"alive"`
-	Dispatched int64  `json:"dispatched"`
-	Completed  int64  `json:"completed"`
-	CacheHits  int64  `json:"cache_hits"`
-	Failures   int64  `json:"failures"`
-	Timeouts   int64  `json:"timeouts"`
+	Addr         string `json:"addr"`
+	Alive        bool   `json:"alive"`
+	Proto        int    `json:"proto,omitempty"`
+	Compress     bool   `json:"compress,omitempty"`
+	Dispatched   int64  `json:"dispatched"`
+	Completed    int64  `json:"completed"`
+	CacheHits    int64  `json:"cache_hits"`
+	Failures     int64  `json:"failures"`
+	Timeouts     int64  `json:"timeouts"`
+	PayloadBytes int64  `json:"payload_bytes"`
+	WireBytes    int64  `json:"wire_bytes"`
 }
 
 // Stats snapshots every worker's counters.
@@ -107,15 +132,21 @@ func (p *Pool) Stats() []WorkerStats {
 	for i, w := range p.workers {
 		w.mu.Lock()
 		alive := !w.down
+		proto := w.proto
+		compress := w.compress
 		w.mu.Unlock()
 		out[i] = WorkerStats{
-			Addr:       w.addr,
-			Alive:      alive,
-			Dispatched: atomic.LoadInt64(&w.dispatched),
-			Completed:  atomic.LoadInt64(&w.completed),
-			CacheHits:  atomic.LoadInt64(&w.cacheHits),
-			Failures:   atomic.LoadInt64(&w.failures),
-			Timeouts:   atomic.LoadInt64(&w.timeouts),
+			Addr:         w.addr,
+			Alive:        alive,
+			Proto:        proto,
+			Compress:     compress,
+			Dispatched:   atomic.LoadInt64(&w.dispatched),
+			Completed:    atomic.LoadInt64(&w.completed),
+			CacheHits:    atomic.LoadInt64(&w.cacheHits),
+			Failures:     atomic.LoadInt64(&w.failures),
+			Timeouts:     atomic.LoadInt64(&w.timeouts),
+			PayloadBytes: atomic.LoadInt64(&w.payloadBytes),
+			WireBytes:    atomic.LoadInt64(&w.wireBytes),
 		}
 	}
 	return out
@@ -126,22 +157,48 @@ func (p *Pool) Bind(spec JobSpec) dnc.RemoteExecutor {
 	return &boundExec{p: p, spec: spec}
 }
 
-// workerLink is one worker's long-lived connection state. mu serializes
-// the single in-flight class; counters are atomics so Stats never waits
-// behind a running class.
+// linkReply is what the reader pump delivers to a waiting call: a
+// response (raw carries its flat-equivalent payload size), a need-spec
+// retransmit request, or the link failure that severed the connection.
+type linkReply struct {
+	resp     *classResponse
+	raw      int64
+	needSpec bool
+	err      error
+}
+
+// workerLink is one worker's long-lived connection state. Up to
+// PoolOptions.Inflight classes multiplex over the connection, matched to
+// their callers by sequence number through the pending map; one reader
+// pump per connection delivers replies. gen numbers connections so a
+// sever is idempotent and a pump for a dead connection can never touch
+// its successor's state.
 type workerLink struct {
 	addr string
 
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint64
-	down bool // link failed; cleared by a successful redial
+	// wmu serializes frame writes. It is acquired before mu and held
+	// across the spec-interning decision and the write, so a link never
+	// emits a spec-less class ahead of the frame that interns its spec.
+	wmu sync.Mutex
 
-	dispatched int64
-	completed  int64
-	cacheHits  int64
-	failures   int64
-	timeouts   int64
+	mu       sync.Mutex
+	conn     net.Conn
+	gen      uint64 // connection generation, bumped by every successful dial
+	proto    int    // negotiated protocol of the current connection
+	compress bool   // negotiated payload compression
+	learned  int    // highest protocol a refusal taught us this worker speaks
+	seq      uint64
+	down     bool // link failed; cleared by a successful redial
+	pending  map[uint64]chan linkReply
+	specs    map[string]bool // job keys whose spec this connection has interned
+
+	dispatched   int64
+	completed    int64
+	cacheHits    int64
+	failures     int64
+	timeouts     int64
+	payloadBytes int64
+	wireBytes    int64
 }
 
 // boundExec is a Pool bound to one JobSpec.
@@ -150,24 +207,33 @@ type boundExec struct {
 	spec JobSpec
 }
 
-func (e *boundExec) Slots() int { return len(e.p.workers) }
+// Slots exposes Inflight credit-slots per worker so the scheduler runs
+// that many dispatchers against each link: while the worker computes one
+// class, the link's other dispatcher is already shipping the next.
+func (e *boundExec) Slots() int { return len(e.p.workers) * e.p.opts.Inflight }
+
+func (e *boundExec) link(slot int) *workerLink {
+	return e.p.workers[slot%len(e.p.workers)]
+}
 
 func (e *boundExec) Alive(slot int) bool {
-	w := e.p.workers[slot]
+	w := e.link(slot)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return !w.down
 }
 
-// Affinity routes a class by consistent hash over (job key, class), so
-// a repeated request scatters its classes onto the same workers as last
-// time and their class caches answer without recomputing.
-func (e *boundExec) Affinity(c dnc.RemoteClass) int {
-	return e.p.ring.lookup(fmt.Sprintf("%s/%s/%d", e.spec.Key, c.Label, c.Depth))
+// Affine routes a class by consistent hash over (job key, class), so a
+// repeated request scatters its classes onto the same workers as last
+// time and their class caches answer without recomputing. Every
+// credit-slot of the hashed worker is affine to the class.
+func (e *boundExec) Affine(slot int, c dnc.RemoteClass) bool {
+	home := e.p.ring.lookup(fmt.Sprintf("%s/%s/%d", e.spec.Key, c.Label, c.Depth))
+	return home == slot%len(e.p.workers)
 }
 
 func (e *boundExec) Run(slot int, c dnc.RemoteClass, cancel <-chan struct{}) (*dnc.ClassOutcome, error) {
-	w := e.p.workers[slot]
+	w := e.link(slot)
 	req := &classRequest{
 		Key:            e.spec.Key,
 		Network:        e.spec.Network,
@@ -185,7 +251,7 @@ func (e *boundExec) Run(slot int, c dnc.RemoteClass, cancel <-chan struct{}) (*d
 		Depth:          c.Depth,
 		StrictMem:      c.StrictMem,
 	}
-	resp, err := w.roundTrip(req, cancel, e.p.opts)
+	resp, err := w.call(req, cancel, e.p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +262,7 @@ func (e *boundExec) Run(slot int, c dnc.RemoteClass, cancel <-chan struct{}) (*d
 			// A payload the coordinator cannot decode means the link (or
 			// the worker) is unreliable: sever it and let the class rerun
 			// elsewhere rather than aborting the job.
-			w.fail()
+			w.hardFail(derr)
 			return nil, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, derr, dnc.ErrWorkerLost)
 		}
 		return &dnc.ClassOutcome{
@@ -213,124 +279,290 @@ func (e *boundExec) Run(slot int, c dnc.RemoteClass, cancel <-chan struct{}) (*d
 	case statusError:
 		return nil, fmt.Errorf("distrib: worker %s: class %s: %s", w.addr, c.Label, resp.Error)
 	default:
-		w.fail()
+		w.hardFail(fmt.Errorf("unknown status %q", resp.Status))
 		return nil, fmt.Errorf("distrib: worker %s: unknown status %q: %w", w.addr, resp.Status, dnc.ErrWorkerLost)
 	}
 }
 
-// roundTrip sends one class and waits for its response under the class
-// deadline, dialing the link first when needed. Any failure severs the
-// link and surfaces as worker-lost (timeout-flavored when the deadline
-// expired), leaving redial to the next use.
-func (w *workerLink) roundTrip(req *classRequest, cancel <-chan struct{}, opts PoolOptions) (*classResponse, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.conn == nil {
-		if err := w.dialLocked(opts); err != nil {
-			w.down = true
-			atomic.AddInt64(&w.failures, 1)
-			return nil, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, err, dnc.ErrWorkerLost)
+// call sends one class and waits for its response, re-sending with the
+// spec attached when the worker answers need-spec (a restarted or
+// evicted worker no longer holds the interned job spec).
+func (w *workerLink) call(req *classRequest, cancel <-chan struct{}, opts PoolOptions) (*classResponse, error) {
+	forceSpec := false
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, needSpec, err := w.callOnce(req, cancel, forceSpec, opts)
+		if err != nil {
+			return nil, err
 		}
-		w.down = false
+		if !needSpec {
+			return resp, nil
+		}
+		forceSpec = true
+	}
+	w.hardFail(errors.New("worker kept asking for the job spec"))
+	return nil, fmt.Errorf("distrib: worker %s: need-spec loop: %w", w.addr, dnc.ErrWorkerLost)
+}
+
+// callOnce performs one request/reply exchange on the multiplexed link.
+func (w *workerLink) callOnce(req *classRequest, cancel <-chan struct{}, forceSpec bool, opts PoolOptions) (*classResponse, bool, error) {
+	w.wmu.Lock()
+	w.mu.Lock()
+	if err := w.ensureLocked(opts); err != nil {
+		w.down = true
+		w.mu.Unlock()
+		w.wmu.Unlock()
+		atomic.AddInt64(&w.failures, 1)
+		return nil, false, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, err, dnc.ErrWorkerLost)
 	}
 	w.seq++
 	req.Seq = w.seq
-	atomic.AddInt64(&w.dispatched, 1)
-
+	gen := w.gen
 	conn := w.conn
-	conn.SetDeadline(time.Now().Add(opts.ClassTimeout))
-	stop := make(chan struct{})
-	defer close(stop)
-	if cancel != nil {
-		go func() {
-			select {
-			case <-cancel:
-				// Yank the in-flight read; the run is over either way.
-				conn.SetDeadline(time.Now().Add(-time.Second))
-			case <-stop:
-			}
-		}()
+	proto := w.proto
+	withSpec := proto < 2 || forceSpec || !w.specs[req.Key]
+	if proto >= 2 && withSpec {
+		w.specs[req.Key] = true
+	}
+	ch := make(chan linkReply, 1)
+	w.pending[req.Seq] = ch
+	w.mu.Unlock()
+
+	var body []byte
+	var err error
+	if proto >= 2 {
+		body = encodeClassV2(req, withSpec)
+	} else {
+		body, err = json.Marshal(req)
+	}
+	if err == nil {
+		err = writeFrame(conn, body)
+	}
+	w.wmu.Unlock()
+	if err != nil {
+		w.sever(gen, err)
+		atomic.AddInt64(&w.failures, 1)
+		return nil, false, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, err, dnc.ErrWorkerLost)
+	}
+	atomic.AddInt64(&w.dispatched, 1)
+	atomic.AddInt64(&w.wireBytes, int64(len(body))+frameHeaderLen)
+	if proto >= 2 && !withSpec {
+		atomic.AddInt64(&w.payloadBytes, int64(len(encodeClassV2(req, true))))
+	} else if proto >= 2 {
+		atomic.AddInt64(&w.payloadBytes, int64(len(body)))
+	} else {
+		atomic.AddInt64(&w.payloadBytes, int64(len(encodeClassV2(req, true))))
 	}
 
-	if err := writeMsg(conn, req); err != nil {
-		return nil, w.failLocked(err, cancel)
+	timer := time.NewTimer(opts.ClassTimeout)
+	defer timer.Stop()
+	var rep linkReply
+	select {
+	case rep = <-ch:
+	case <-cancel:
+		w.sever(gen, errors.New("job canceled"))
+		rep = <-ch // sever delivered the error (or the pump beat it with a reply)
+	case <-timer.C:
+		if w.sever(gen, fmt.Errorf("no response within %v", opts.ClassTimeout)) {
+			// This caller performed the teardown: the worker is wedged.
+			atomic.AddInt64(&w.failures, 1)
+			atomic.AddInt64(&w.timeouts, 1)
+			return nil, false, fmt.Errorf("distrib: worker %s: %w", w.addr, dnc.ErrWorkerTimeout)
+		}
+		// Someone else already severed this connection (or the pump
+		// answered at the wire); the buffered reply says which.
+		rep = <-ch
 	}
-	var resp classResponse
-	if err := readMsg(conn, &resp, opts.MaxFrameBytes); err != nil {
-		return nil, w.failLocked(err, cancel)
+	if rep.err != nil {
+		atomic.AddInt64(&w.failures, 1)
+		return nil, false, fmt.Errorf("distrib: worker %s: %v: %w", w.addr, rep.err, dnc.ErrWorkerLost)
 	}
-	conn.SetDeadline(time.Time{})
-	if resp.Seq != req.Seq {
-		return nil, w.failLocked(fmt.Errorf("response seq %d for request %d", resp.Seq, req.Seq), cancel)
+	if rep.needSpec {
+		w.mu.Lock()
+		if w.gen == gen && w.specs != nil {
+			delete(w.specs, req.Key)
+		}
+		w.mu.Unlock()
+		return nil, true, nil
 	}
 	atomic.AddInt64(&w.completed, 1)
-	if resp.Cached {
+	if rep.resp.Cached {
 		atomic.AddInt64(&w.cacheHits, 1)
 	}
-	return &resp, nil
+	atomic.AddInt64(&w.payloadBytes, rep.raw)
+	return rep.resp, false, nil
 }
 
-// failLocked severs the link and classifies the failure. Caller holds
-// w.mu.
-func (w *workerLink) failLocked(cause error, cancel <-chan struct{}) error {
-	w.conn.Close()
-	w.conn = nil
-	w.down = true
-	atomic.AddInt64(&w.failures, 1)
-	canceled := false
-	if cancel != nil {
-		select {
-		case <-cancel:
-			canceled = true
-		default:
-		}
-	}
-	var nerr net.Error
-	if !canceled && errors.As(cause, &nerr) && nerr.Timeout() {
-		atomic.AddInt64(&w.timeouts, 1)
-		return fmt.Errorf("distrib: worker %s: %w", w.addr, dnc.ErrWorkerTimeout)
-	}
-	return fmt.Errorf("distrib: worker %s: %v: %w", w.addr, cause, dnc.ErrWorkerLost)
-}
-
-// fail severs the link from outside roundTrip (decode failures).
-func (w *workerLink) fail() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+// ensureLocked dials and completes the hello exchange when the link has
+// no live connection. Caller holds w.wmu and w.mu.
+func (w *workerLink) ensureLocked(opts PoolOptions) error {
 	if w.conn != nil {
-		w.conn.Close()
-		w.conn = nil
+		return nil
 	}
-	w.down = true
-	atomic.AddInt64(&w.failures, 1)
+	target := protoVersion
+	if opts.ForceProto > 0 && opts.ForceProto < target {
+		target = opts.ForceProto
+	}
+	if w.learned > 0 && w.learned < target {
+		target = w.learned
+	}
+	for {
+		conn, proto, compress, err := dialHello(w.addr, target, opts)
+		if err == nil {
+			w.conn = conn
+			w.gen++
+			w.proto = proto
+			w.compress = compress
+			w.down = false
+			w.pending = make(map[uint64]chan linkReply)
+			w.specs = make(map[string]bool)
+			go w.readLoop(conn, w.gen, proto, opts.MaxFrameBytes)
+			return nil
+		}
+		// A refusal that carries the worker's own version (a protocol-1
+		// worker refuses anything newer) teaches us where to redial.
+		var rerr *refusedError
+		if errors.As(err, &rerr) && rerr.proto >= protoFloor && rerr.proto < target {
+			target = rerr.proto
+			w.learned = rerr.proto
+			continue
+		}
+		return err
+	}
 }
 
-// dialLocked connects and completes the hello exchange. Caller holds
-// w.mu.
-func (w *workerLink) dialLocked(opts PoolOptions) error {
-	conn, err := net.DialTimeout("tcp", w.addr, opts.DialTimeout)
+// refusedError is a worker's hello refusal; proto is the version the
+// worker itself speaks.
+type refusedError struct {
+	proto int
+	msg   string
+}
+
+func (e *refusedError) Error() string { return e.msg }
+
+// dialHello connects and negotiates: offer target, accept whatever the
+// worker answers within [protoFloor, target].
+func dialHello(addr string, target int, opts PoolOptions) (net.Conn, int, bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
-		return err
+		return nil, 0, false, err
 	}
 	conn.SetDeadline(time.Now().Add(opts.DialTimeout))
-	if err := writeMsg(conn, helloRequest{Proto: protoVersion}); err != nil {
+	wantCompress := target >= 2 && !opts.NoCompress
+	if err := writeMsg(conn, helloRequest{Proto: target, Min: protoFloor, Compress: wantCompress}); err != nil {
 		conn.Close()
-		return err
+		return nil, 0, false, err
 	}
 	var hello helloResponse
 	if err := readMsg(conn, &hello, 1<<16); err != nil {
 		conn.Close()
-		return err
+		return nil, 0, false, err
 	}
 	if hello.Error != "" {
 		conn.Close()
-		return errors.New(hello.Error)
+		return nil, 0, false, &refusedError{proto: hello.Proto, msg: hello.Error}
 	}
-	if hello.Proto != protoVersion {
+	if hello.Proto < protoFloor || hello.Proto > target {
 		conn.Close()
-		return fmt.Errorf("worker speaks protocol %d, want %d", hello.Proto, protoVersion)
+		return nil, 0, false, fmt.Errorf("worker answered protocol %d outside [%d, %d]", hello.Proto, protoFloor, target)
 	}
 	conn.SetDeadline(time.Time{})
-	w.conn = conn
-	return nil
+	return conn, hello.Proto, hello.Compress && wantCompress, nil
+}
+
+// readLoop is the link's reader pump: it decodes frames off one
+// connection and delivers them to the pending calls by sequence number,
+// severing the connection (which fails every pending call) on any read
+// or decode error.
+func (w *workerLink) readLoop(conn net.Conn, gen uint64, proto int, maxFrame int) {
+	for {
+		body, err := readFrame(conn, maxFrame)
+		if err != nil {
+			w.sever(gen, err)
+			return
+		}
+		atomic.AddInt64(&w.wireBytes, int64(len(body))+frameHeaderLen)
+		var seq uint64
+		var rep linkReply
+		if proto >= 2 {
+			if len(body) == 0 {
+				w.sever(gen, errors.New("empty frame"))
+				return
+			}
+			switch body[0] {
+			case msgResultV2:
+				resp, raw, derr := decodeResultV2(body)
+				if derr != nil {
+					w.sever(gen, derr)
+					return
+				}
+				seq, rep = resp.Seq, linkReply{resp: resp, raw: raw}
+			case msgNeedSpecV2:
+				s, _, derr := decodeNeedSpecV2(body)
+				if derr != nil {
+					w.sever(gen, derr)
+					return
+				}
+				seq, rep = s, linkReply{needSpec: true}
+			default:
+				w.sever(gen, fmt.Errorf("unknown message type %#x", body[0]))
+				return
+			}
+		} else {
+			var resp classResponse
+			if derr := json.Unmarshal(body, &resp); derr != nil {
+				w.sever(gen, derr)
+				return
+			}
+			seq, rep = resp.Seq, linkReply{resp: &resp, raw: int64(len(resp.Supports))}
+		}
+		w.mu.Lock()
+		var ch chan linkReply
+		if w.gen == gen && w.pending != nil {
+			ch = w.pending[seq]
+			delete(w.pending, seq)
+		}
+		w.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+		// A reply with no pending call (a late answer for a timed-out
+		// class raced the sever) is dropped; the sever closes the
+		// connection either way.
+	}
+}
+
+// sever tears down the link's current connection if it still is the
+// generation the caller saw, failing every pending call with cause. It
+// reports whether this call performed the teardown — the discriminator
+// between "I timed this class out" and "the link died under me".
+func (w *workerLink) sever(gen uint64, cause error) bool {
+	w.mu.Lock()
+	if w.gen != gen || w.conn == nil {
+		w.mu.Unlock()
+		return false
+	}
+	w.conn.Close()
+	w.conn = nil
+	w.down = true
+	w.specs = nil
+	pend := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	for _, ch := range pend {
+		ch <- linkReply{err: cause}
+	}
+	return true
+}
+
+// hardFail severs the link from outside a call (undecodable payloads,
+// protocol violations surfaced above the wire layer).
+func (w *workerLink) hardFail(cause error) {
+	w.mu.Lock()
+	gen := w.gen
+	w.mu.Unlock()
+	w.sever(gen, cause)
+	w.mu.Lock()
+	w.down = true
+	w.mu.Unlock()
+	atomic.AddInt64(&w.failures, 1)
 }

@@ -1,15 +1,21 @@
 // Package distrib is the coordinator/worker fabric of the distributed
-// efmd deployment: a framed JSON protocol for shipping divide-and-conquer
-// classes to remote worker processes, a connection pool implementing the
-// scheduler's RemoteExecutor on top of it, and a consistent-hash ring
-// that routes identical requests back to the same worker's cache.
+// efmd deployment: a versioned wire protocol for shipping
+// divide-and-conquer classes to remote worker processes, a multiplexed
+// connection pool implementing the scheduler's RemoteExecutor on top of
+// it, and a consistent-hash ring that routes identical requests back to
+// the same worker's cache.
 //
-// The protocol is deliberately coarse: one class per round trip, one
-// in-flight class per connection. Classes are seconds-to-minutes of
-// compute against kilobytes of payload, so per-message overhead is
-// irrelevant and the simplicity buys exactly the failure semantics the
-// scheduler wants — a broken connection maps one-to-one onto "the class
-// I dispatched there is lost".
+// Two protocol versions coexist. Version 1 (the original) frames JSON
+// bodies: one class per round trip, the full network text re-sent with
+// every class, support payloads base64-inflated inside JSON. Version 2
+// keeps the 4-byte length framing but replaces the bodies with a
+// compact binary codec, interns the per-job spec per (link, key) so
+// repeat classes carry only their coordinates, optionally compresses
+// large support payloads with the core EFMC delta+DEFLATE codec, and
+// multiplexes several seq-tagged classes over one connection so
+// transfer overlaps compute. The hello exchange negotiates the version
+// (both ends settle on the smaller one) and refuses only below a floor,
+// so mixed-version fleets interoperate instead of wedging.
 package distrib
 
 import (
@@ -22,8 +28,13 @@ import (
 	"elmocomp/internal/core"
 )
 
-// protoVersion gates the hello exchange; bump on any wire change.
-const protoVersion = 1
+// protoVersion is this build's newest protocol; the hello exchange may
+// settle lower, down to protoFloor. Bump on any wire change.
+const protoVersion = 2
+
+// protoFloor is the oldest protocol this build still speaks. Peers
+// below it are refused at hello instead of served badly.
+const protoFloor = 1
 
 // defaultMaxFrame bounds a single frame. Support payloads dominate, and
 // a worker answering a class with more encoded modes than this is more
@@ -34,50 +45,73 @@ const defaultMaxFrame = 256 << 20
 // cluster substrate's TCP framing.
 const frameHeaderLen = 4
 
-// writeMsg frames and writes one JSON message.
-func writeMsg(w io.Writer, v interface{}) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(body)
+	_, err := w.Write(body)
 	return err
 }
 
-// readMsg reads and decodes one framed JSON message into v.
-func readMsg(r io.Reader, v interface{}, maxFrame int) error {
+// readFrame reads one length-prefixed frame body.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if maxFrame <= 0 {
 		maxFrame = defaultMaxFrame
 	}
 	if int64(n) > int64(maxFrame) {
-		return fmt.Errorf("distrib: %d-byte frame exceeds the %d-byte limit", n, maxFrame)
+		return nil, fmt.Errorf("distrib: %d-byte frame exceeds the %d-byte limit", n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// writeMsg frames and writes one JSON message (the hello exchange and
+// every protocol-1 body).
+func writeMsg(w io.Writer, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, body)
+}
+
+// readMsg reads and decodes one framed JSON message into v.
+func readMsg(r io.Reader, v interface{}, maxFrame int) error {
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, v)
 }
 
-// helloRequest opens every connection; the worker refuses mismatched
-// protocol versions instead of misparsing frames.
+// helloRequest opens every connection. Proto is the newest version the
+// client speaks, Min the oldest; the worker answers with the largest
+// version both sides share, or an error when the ranges are disjoint. A
+// protocol-1 peer sends {"proto":1} and ignores the newer fields, which
+// is exactly the old exchange.
 type helloRequest struct {
 	Proto int `json:"proto"`
+	Min   int `json:"min,omitempty"`
+	// Compress asks the worker to DEFLATE large support payloads with
+	// the core EFMC codec (protocol >= 2 only).
+	Compress bool `json:"compress,omitempty"`
 }
 
 type helloResponse struct {
-	Proto int    `json:"proto"`
-	Error string `json:"error,omitempty"`
+	Proto    int    `json:"proto"`
+	Compress bool   `json:"compress,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // classRequest ships one divide-and-conquer class: the canonical network
@@ -86,6 +120,11 @@ type helloResponse struct {
 // response on the connection; Key is the job's content-addressed
 // RequestKey, shared by every class of one job so the worker can reuse
 // its parsed reduction and key its class cache.
+//
+// The JSON field set is the frozen protocol-1 body. Protocol 2 carries
+// the same struct through the binary codec in proto2.go and elides the
+// spec fields (Network through CommTimeoutSec) once a link has interned
+// them for the key.
 type classRequest struct {
 	Seq uint64 `json:"seq"`
 	Key string `json:"key"`
@@ -126,8 +165,11 @@ type classResponse struct {
 	Pairs         int64 `json:"pairs,omitempty"`
 	PeakNodeBytes int64 `json:"peak_node_bytes,omitempty"`
 	Cached        bool  `json:"cached,omitempty"`
-	// Supports is the class's EFM supports in the versioned EFMS codec
-	// (supports-only payload over the reduced network's columns).
+	// Supports is the class's EFM supports over the reduced network's
+	// columns: always the flat EFMS codec in the protocol-1 JSON body
+	// and in the worker's class cache; on a protocol-2 link the payload
+	// may instead travel in the compressed EFMC form (the codecs'
+	// magics disambiguate).
 	Supports []byte `json:"supports,omitempty"`
 }
 
@@ -152,9 +194,17 @@ func encodeSupports(supports []bitset.Set, q int) []byte {
 }
 
 // decodeSupports inverts encodeSupports, validating the payload against
-// the expected column count.
+// the expected column count. It accepts both the flat EFMS form and the
+// compressed EFMC form (protocol-2 links deflate large payloads), keyed
+// on the codec magic.
 func decodeSupports(payload []byte, q int) ([]bitset.Set, error) {
-	set, err := core.DecodeModeSet(payload)
+	var set *core.ModeSet
+	var err error
+	if len(payload) >= 4 && binary.LittleEndian.Uint32(payload) == core.StoreCodecMagic {
+		set, err = core.DecodeCompressed(payload)
+	} else {
+		set, err = core.DecodeModeSet(payload)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,312 @@
+// Protocol-2 binary message codec. Bodies keep the 4-byte length
+// framing of protocol 1 but drop JSON: fixed fields travel as varints
+// and raw float bits, support payloads as raw EFMS/EFMC bytes with no
+// base64 inflation, and the per-job spec (network text plus
+// result-shaping options) is optional per message so links can intern
+// it once per (connection, key).
+//
+// The canonical binary encoding of a class request — spec attached, Seq
+// zeroed — doubles as the worker's class-cache key material: it is a
+// total, deterministic function of the request with no error path, so
+// the cache key cannot silently degrade the way a swallowed
+// json.Marshal error could.
+package distrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Message type bytes, the first byte of every protocol-2 frame body.
+const (
+	// msgClassV2 carries one class request, coordinator to worker.
+	msgClassV2 = 0x01
+	// msgResultV2 carries one class response, worker to coordinator.
+	msgResultV2 = 0x02
+	// msgNeedSpecV2 asks the coordinator to re-send a class with its
+	// job spec attached: the worker does not hold the spec for the key
+	// (restarted, or the bounded spec store evicted it).
+	msgNeedSpecV2 = 0x03
+)
+
+// Class request flag bits.
+const (
+	classHasSpec = 1 << iota
+	classStrictMem
+	classKeepDup
+	classTree
+	classNoHybrid
+)
+
+// Result flag bits.
+const (
+	resultCached = 1 << iota
+)
+
+// Status bytes <-> the protocol-1 status strings.
+var statusBytes = map[string]byte{
+	statusOK:        0,
+	statusSkipped:   1,
+	statusBudget:    2,
+	statusMemBudget: 3,
+	statusError:     4,
+}
+
+var byteStatuses = []string{statusOK, statusSkipped, statusBudget, statusMemBudget, statusError}
+
+func appendBytesV2(dst []byte, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(dst, b[:]...)
+}
+
+// wireReader decodes a frame body with sticky error state, so decoders
+// read straight through and check once.
+type wireReader struct {
+	b   []byte
+	o   int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("distrib: "+format, args...)
+	}
+}
+
+func (r *wireReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.o >= len(r.b) {
+		r.fail("frame truncated at byte %d", r.o)
+		return 0
+	}
+	v := r.b[r.o]
+	r.o++
+	return v
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.o:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.o)
+		return 0
+	}
+	r.o += n
+	return v
+}
+
+// intv reads a varint that must fit a non-negative int.
+func (r *wireReader) intv() int {
+	v := r.uvarint()
+	if v > math.MaxInt32 {
+		r.fail("varint %d out of int range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b)-r.o < 8 {
+		r.fail("frame truncated in float at byte %d", r.o)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.o:]))
+	r.o += 8
+	return v
+}
+
+func (r *wireReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)-r.o) < n {
+		r.fail("frame truncated in %d-byte field at byte %d", n, r.o)
+		return nil
+	}
+	v := r.b[r.o : r.o+int(n)]
+	r.o += int(n)
+	return v
+}
+
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.o != len(r.b) {
+		return fmt.Errorf("distrib: frame has %d trailing bytes", len(r.b)-r.o)
+	}
+	return nil
+}
+
+// encodeClassV2 serializes a class request. withSpec attaches the
+// per-job spec block (network text and result-shaping options); an
+// interned request carries only its key and coordinates.
+func encodeClassV2(req *classRequest, withSpec bool) []byte {
+	out := make([]byte, 0, 64+len(req.Key))
+	out = append(out, msgClassV2)
+	out = binary.AppendUvarint(out, req.Seq)
+	var flags byte
+	if withSpec {
+		flags |= classHasSpec
+	}
+	if req.StrictMem {
+		flags |= classStrictMem
+	}
+	if req.KeepDuplicates {
+		flags |= classKeepDup
+	}
+	if req.Tree {
+		flags |= classTree
+	}
+	if req.NoHybrid {
+		flags |= classNoHybrid
+	}
+	out = append(out, flags)
+	out = appendBytesV2(out, []byte(req.Key))
+	out = binary.AppendUvarint(out, req.Class)
+	out = binary.AppendUvarint(out, uint64(req.Depth))
+	out = binary.AppendUvarint(out, uint64(len(req.Partition)))
+	for _, j := range req.Partition {
+		out = binary.AppendUvarint(out, uint64(j))
+	}
+	if withSpec {
+		out = appendF64(out, req.Tol)
+		out = binary.AppendUvarint(out, uint64(req.MaxModes))
+		out = binary.AppendUvarint(out, uint64(req.Workers))
+		out = binary.AppendUvarint(out, uint64(req.Nodes))
+		out = binary.AppendUvarint(out, uint64(req.MemBudget))
+		out = appendF64(out, req.CommTimeoutSec)
+		out = appendBytesV2(out, []byte(req.Network))
+	}
+	return out
+}
+
+// decodeClassV2 inverts encodeClassV2. hasSpec reports whether the spec
+// block was attached; without it the spec fields are zero and the
+// worker must fill them from its spec store (or answer need-spec).
+func decodeClassV2(body []byte) (req classRequest, hasSpec bool, err error) {
+	r := &wireReader{b: body}
+	if t := r.u8(); t != msgClassV2 {
+		return req, false, fmt.Errorf("distrib: message type %#x is not a class request", t)
+	}
+	req.Seq = r.uvarint()
+	flags := r.u8()
+	req.Key = string(r.bytes())
+	req.Class = r.uvarint()
+	req.Depth = r.intv()
+	np := r.intv()
+	if r.err == nil && np > len(body) { // each partition entry is >= 1 byte
+		return req, false, fmt.Errorf("distrib: class request claims %d partition entries in a %d-byte frame", np, len(body))
+	}
+	if r.err == nil {
+		req.Partition = make([]int, np)
+		for i := range req.Partition {
+			req.Partition[i] = r.intv()
+		}
+	}
+	req.StrictMem = flags&classStrictMem != 0
+	req.KeepDuplicates = flags&classKeepDup != 0
+	req.Tree = flags&classTree != 0
+	req.NoHybrid = flags&classNoHybrid != 0
+	hasSpec = flags&classHasSpec != 0
+	if hasSpec {
+		req.Tol = r.f64()
+		req.MaxModes = r.intv()
+		req.Workers = r.intv()
+		req.Nodes = r.intv()
+		req.MemBudget = int64(r.uvarint())
+		req.CommTimeoutSec = r.f64()
+		req.Network = string(r.bytes())
+	}
+	return req, hasSpec, r.done()
+}
+
+// encodeResultV2 serializes a class response. payload is the support
+// bytes actually shipped (flat EFMS or compressed EFMC); rawLen is the
+// flat payload size, carried so the coordinator's payload-vs-wire
+// accounting never has to re-encode.
+func encodeResultV2(resp *classResponse, payload []byte, rawLen int) []byte {
+	out := make([]byte, 0, 32+len(payload))
+	out = append(out, msgResultV2)
+	out = binary.AppendUvarint(out, resp.Seq)
+	sb, ok := statusBytes[resp.Status]
+	if !ok {
+		sb = statusBytes[statusError]
+	}
+	out = append(out, sb)
+	var flags byte
+	if resp.Cached {
+		flags |= resultCached
+	}
+	out = append(out, flags)
+	out = appendBytesV2(out, []byte(resp.Error))
+	out = binary.AppendUvarint(out, uint64(resp.Pairs))
+	out = binary.AppendUvarint(out, uint64(resp.PeakNodeBytes))
+	out = binary.AppendUvarint(out, uint64(rawLen))
+	out = appendBytesV2(out, payload)
+	return out
+}
+
+// decodeResultV2 inverts encodeResultV2, returning the flat-equivalent
+// payload size alongside the response.
+func decodeResultV2(body []byte) (*classResponse, int64, error) {
+	r := &wireReader{b: body}
+	if t := r.u8(); t != msgResultV2 {
+		return nil, 0, fmt.Errorf("distrib: message type %#x is not a class result", t)
+	}
+	resp := &classResponse{}
+	resp.Seq = r.uvarint()
+	sb := r.u8()
+	if r.err == nil && int(sb) >= len(byteStatuses) {
+		return nil, 0, fmt.Errorf("distrib: unknown status byte %d", sb)
+	}
+	flags := r.u8()
+	resp.Error = string(r.bytes())
+	resp.Pairs = int64(r.uvarint())
+	resp.PeakNodeBytes = int64(r.uvarint())
+	rawLen := int64(r.uvarint())
+	if payload := r.bytes(); len(payload) > 0 {
+		resp.Supports = payload
+	}
+	if err := r.done(); err != nil {
+		return nil, 0, err
+	}
+	resp.Status = byteStatuses[sb]
+	resp.Cached = flags&resultCached != 0
+	return resp, rawLen, nil
+}
+
+// encodeNeedSpecV2 serializes the worker's spec retransmit request.
+func encodeNeedSpecV2(seq uint64, key string) []byte {
+	out := make([]byte, 0, 16+len(key))
+	out = append(out, msgNeedSpecV2)
+	out = binary.AppendUvarint(out, seq)
+	out = appendBytesV2(out, []byte(key))
+	return out
+}
+
+// decodeNeedSpecV2 inverts encodeNeedSpecV2.
+func decodeNeedSpecV2(body []byte) (seq uint64, key string, err error) {
+	r := &wireReader{b: body}
+	if t := r.u8(); t != msgNeedSpecV2 {
+		return 0, "", fmt.Errorf("distrib: message type %#x is not a need-spec request", t)
+	}
+	seq = r.uvarint()
+	key = string(r.bytes())
+	return seq, key, r.done()
+}

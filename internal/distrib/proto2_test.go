@@ -1,0 +1,336 @@
+package distrib
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"elmocomp/internal/bitset"
+	"elmocomp/internal/core"
+	"elmocomp/internal/dnc"
+)
+
+func TestClassCodecV2RoundTrip(t *testing.T) {
+	full := classRequest{
+		Seq:            42,
+		Key:            "job-key",
+		Network:        "A -> B\nB -> C\n",
+		KeepDuplicates: true,
+		Tol:            1e-9,
+		MaxModes:       100,
+		Workers:        3,
+		Nodes:          2,
+		Tree:           true,
+		NoHybrid:       true,
+		MemBudget:      1 << 30,
+		CommTimeoutSec: 2.5,
+		Partition:      []int{0, 3, 7},
+		Class:          5,
+		Depth:          2,
+		StrictMem:      true,
+	}
+	for _, withSpec := range []bool{true, false} {
+		body := encodeClassV2(&full, withSpec)
+		got, hasSpec, err := decodeClassV2(body)
+		if err != nil {
+			t.Fatalf("withSpec=%v: %v", withSpec, err)
+		}
+		if hasSpec != withSpec {
+			t.Fatalf("withSpec=%v decoded as hasSpec=%v", withSpec, hasSpec)
+		}
+		want := full
+		if !withSpec {
+			// Interned requests drop the spec block but keep the class
+			// coordinates and their flags.
+			want.Network = ""
+			want.Tol = 0
+			want.MaxModes = 0
+			want.Workers = 0
+			want.Nodes = 0
+			want.MemBudget = 0
+			want.CommTimeoutSec = 0
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("withSpec=%v round trip mangled:\n got %+v\nwant %+v", withSpec, got, want)
+		}
+	}
+
+	// Every truncation of a valid frame must be rejected, never
+	// misparsed into a valid request.
+	body := encodeClassV2(&full, true)
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, err := decodeClassV2(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(body))
+		}
+	}
+	if _, _, err := decodeClassV2(append(body, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, _, err := decodeClassV2([]byte{msgResultV2, 0}); err == nil {
+		t.Fatal("wrong message type accepted")
+	}
+}
+
+func TestResultCodecV2RoundTrip(t *testing.T) {
+	payload := []byte("EFMS-or-EFMC-payload-bytes")
+	for _, status := range []string{statusOK, statusSkipped, statusBudget, statusMemBudget, statusError} {
+		in := classResponse{
+			Seq:           9,
+			Status:        status,
+			Error:         "boom",
+			Pairs:         12345,
+			PeakNodeBytes: 1 << 20,
+			Cached:        true,
+			Supports:      payload,
+		}
+		body := encodeResultV2(&in, payload, 4*len(payload))
+		got, rawLen, err := decodeResultV2(body)
+		if err != nil {
+			t.Fatalf("%s: %v", status, err)
+		}
+		if rawLen != int64(4*len(payload)) {
+			t.Fatalf("%s: rawLen %d, want %d", status, rawLen, 4*len(payload))
+		}
+		if !reflect.DeepEqual(*got, in) {
+			t.Fatalf("%s: round trip mangled:\n got %+v\nwant %+v", status, *got, in)
+		}
+	}
+	body := encodeResultV2(&classResponse{Seq: 1, Status: statusOK}, payload, len(payload))
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, err := decodeResultV2(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(body))
+		}
+	}
+	// An unknown status byte is a protocol violation, not a guess.
+	bad := append([]byte(nil), body...)
+	bad[2] = 200
+	if _, _, err := decodeResultV2(bad); err == nil {
+		t.Fatal("unknown status byte accepted")
+	}
+}
+
+func TestNeedSpecCodecV2RoundTrip(t *testing.T) {
+	body := encodeNeedSpecV2(77, "some-job-key")
+	seq, key, err := decodeNeedSpecV2(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 77 || key != "some-job-key" {
+		t.Fatalf("round trip mangled: seq=%d key=%q", seq, key)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, _, err := decodeNeedSpecV2(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(body))
+		}
+	}
+}
+
+// TestSupportsCompressedRoundTrip: a protocol-2 link may ship the EFMC
+// compressed form; decodeSupports must accept it transparently and
+// produce the same supports as the flat payload.
+func TestSupportsCompressedRoundTrip(t *testing.T) {
+	q := 100
+	var supports []bitset.Set
+	for i := 0; i < 200; i++ {
+		b := bitset.New(q)
+		b.Set(i % q)
+		b.Set((i * 7) % q)
+		supports = append(supports, b)
+	}
+	flat := encodeSupports(supports, q)
+	set, err := core.DecodeModeSet(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := core.EncodeCompressed(set)
+	got, err := decodeSupports(comp, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(supports) {
+		t.Fatalf("decoded %d supports, want %d", len(got), len(supports))
+	}
+	for i := range got {
+		if !got[i].Equal(supports[i]) {
+			t.Fatalf("support %d differs through the compressed path", i)
+		}
+	}
+	if _, err := decodeSupports(comp, q+1); err == nil {
+		t.Fatal("column-count mismatch accepted through the compressed path")
+	}
+}
+
+// TestPoolDowngradeToV1Worker: a v2 coordinator dialing a legacy
+// protocol-1 worker (which refuses any other version outright) must
+// learn the worker's version from the refusal, redial at protocol 1,
+// and complete the job — a mixed-version fleet interoperates.
+func TestPoolDowngradeToV1Worker(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w := startWorker(t, WorkerOptions{MaxProto: 1})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatalf("mixed-version job failed: %v", err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("fingerprint differs through the downgraded link")
+	}
+	st := pool.Stats()[0]
+	if st.Proto != 1 {
+		t.Fatalf("negotiated protocol %d, want 1", st.Proto)
+	}
+	if st.Compress {
+		t.Fatal("compression negotiated on a protocol-1 link")
+	}
+	if res.Sched.RemoteRequeues != 0 {
+		t.Fatalf("%d requeues on a healthy (if old) fleet", res.Sched.RemoteRequeues)
+	}
+}
+
+// TestPoolForceProtoV1: ForceProto pins a modern fleet to protocol-1
+// framing (the benchmark's v1 baseline mode) and the results still
+// match.
+func TestPoolForceProtoV1(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second, ForceProto: 1, Inflight: 1})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("fingerprint differs under ForceProto 1")
+	}
+	if st := pool.Stats()[0]; st.Proto != 1 {
+		t.Fatalf("negotiated protocol %d, want 1", st.Proto)
+	}
+}
+
+// TestPoolBelowFloorRefused: a "worker" that only speaks a protocol
+// below the coordinator's floor is refused cleanly — the link reports
+// worker-lost, it does not wedge or loop redialing.
+func TestPoolBelowFloorRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var hello helloRequest
+				if readMsg(c, &hello, 1<<16) != nil {
+					return
+				}
+				writeMsg(c, helloResponse{Proto: 0, Error: "protocol 0 only"})
+			}(c)
+		}
+	}()
+
+	spec, _, _ := toyJob(t)
+	pool := NewPool([]string{ln.Addr().String()}, PoolOptions{DialTimeout: 2 * time.Second, ClassTimeout: 5 * time.Second})
+	defer pool.Close()
+	exec := pool.Bind(spec)
+	cancel := make(chan struct{})
+	defer close(cancel)
+	_, err = exec.Run(0, dnc.RemoteClass{ID: 0, Partition: []int{0}, Label: "0"}, cancel)
+	if err == nil {
+		t.Fatal("below-floor worker accepted")
+	}
+	if !errors.Is(err, dnc.ErrWorkerLost) {
+		t.Fatalf("refusal surfaced as %v, want worker-lost", err)
+	}
+	if pool.Stats()[0].Alive {
+		t.Fatal("refused worker still marked alive")
+	}
+}
+
+// TestSpecInterningNeedSpec: a worker whose spec store evicted a job's
+// spec answers need-spec; the coordinator re-sends the class with the
+// spec attached and the job still completes. Exercises worker-restart
+// correctness without restarting anything.
+func TestSpecInterningNeedSpec(t *testing.T) {
+	specA, red, seq := toyJob(t)
+	specB := specA
+	specB.Key = "test-job-2"
+	w := startWorker(t, WorkerOptions{SpecCache: 1})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	// Job A interns its spec; job B evicts it (SpecCache 1); job A again
+	// finds the link still believes A is interned, the worker answers
+	// need-spec, and the retransmit path heals it.
+	for round, spec := range []JobSpec{specA, specB, specA} {
+		res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if fp(res.Supports) != fp(seq.Supports) {
+			t.Fatalf("round %d: fingerprint differs", round)
+		}
+	}
+	if c := w.Counters(); c.NeedSpecs == 0 {
+		t.Fatal("spec eviction never triggered a need-spec retransmit")
+	}
+	if st := pool.Stats()[0]; !st.Alive {
+		t.Fatal("link severed by the need-spec path")
+	}
+}
+
+// TestPoolPipelinedPrefetch: with in-flight credit 2 and slow classes,
+// the link must ship the next class while the worker computes the
+// current one — the worker observes pipelining depth >= 2.
+func TestPoolPipelinedPrefetch(t *testing.T) {
+	spec, red, seq := toyJob(t)
+	w := startWorker(t, WorkerOptions{DelayPerClass: 50 * time.Millisecond})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second, Inflight: 2})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp(res.Supports) != fp(seq.Supports) {
+		t.Fatal("fingerprint differs under pipelining")
+	}
+	if res.Sched.RemoteClasses < 2 {
+		t.Skipf("only %d remote classes; cannot observe pipelining", res.Sched.RemoteClasses)
+	}
+	if c := w.Counters(); c.MaxPipelined < 2 {
+		t.Fatalf("MaxPipelined = %d, want >= 2 (credit 2 never overlapped transfer with compute)", c.MaxPipelined)
+	}
+}
+
+// TestPoolWireAccounting: protocol 2 must ship fewer wire bytes than
+// the logical payload on a multi-class job (spec interning alone
+// guarantees it), and the v1 baseline must ship more.
+func TestPoolWireAccounting(t *testing.T) {
+	spec, red, _ := toyJob(t)
+	w := startWorker(t, WorkerOptions{})
+	pool := NewPool([]string{w.Addr()}, PoolOptions{ClassTimeout: 30 * time.Second})
+	defer pool.Close()
+
+	res, err := dnc.Run(red.N, red.Reversibilities(), dnc.Options{Qsub: 2, Remote: pool.Bind(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()[0]
+	if st.PayloadBytes == 0 || st.WireBytes == 0 {
+		t.Fatalf("byte accounting missing: payload=%d wire=%d", st.PayloadBytes, st.WireBytes)
+	}
+	if res.Sched.RemoteClasses >= 2 && st.WireBytes >= st.PayloadBytes {
+		t.Fatalf("protocol 2 shipped %d wire bytes for %d payload bytes over %d classes",
+			st.WireBytes, st.PayloadBytes, res.Sched.RemoteClasses)
+	}
+}

@@ -18,6 +18,11 @@ import (
 	"elmocomp/internal/reduce"
 )
 
+// wireCompressMin is the smallest flat support payload worth running
+// through the EFMC compressor: below it the codec's block headers eat
+// the win.
+const wireCompressMin = 512
+
 // WorkerOptions configure a worker process.
 type WorkerOptions struct {
 	// SpillDir is the worker's own mode-store spill directory (operator
@@ -29,8 +34,25 @@ type WorkerOptions struct {
 	// job routed back here by the coordinator's consistent hashing
 	// answers from memory.
 	CacheClasses int
+	// SpecCache bounds the interned job-spec store (default 16). A class
+	// arriving for an evicted (or never-seen) key is answered with
+	// need-spec and the coordinator re-sends it spec-attached.
+	SpecCache int
 	// MaxFrameBytes bounds incoming frames (default 256 MiB).
 	MaxFrameBytes int
+	// MaxProto caps the protocol this worker speaks (0 means the
+	// build's newest). MaxProto 1 reproduces a legacy protocol-1 worker
+	// exactly, including its pre-negotiation refusal of any other
+	// version — tests use it to stand in for an old binary in a mixed
+	// fleet.
+	MaxProto int
+	// NoCompress refuses payload compression even when the coordinator
+	// asks for it.
+	NoCompress bool
+	// DelayPerClass, when > 0, sleeps before executing each class —
+	// a test hook making compute slow enough to observe transfer
+	// pipelining deterministically.
+	DelayPerClass time.Duration
 	// Logf, when set, receives one line per served class.
 	Logf func(format string, args ...interface{})
 
@@ -46,9 +68,10 @@ type WorkerOptions struct {
 }
 
 // Worker serves divide-and-conquer classes over the distrib protocol:
-// the `efmd -worker` role. It is stateless across classes apart from two
-// pure caches (the parsed reduction and completed class results), so a
-// crashed worker loses nothing the coordinator cannot recompute.
+// the `efmd -worker` role. It is stateless across classes apart from
+// three pure caches (the parsed reduction, interned job specs, and
+// completed class results), so a crashed worker loses nothing the
+// coordinator cannot recompute or re-send.
 type Worker struct {
 	opts WorkerOptions
 	ln   net.Listener
@@ -65,9 +88,15 @@ type Worker struct {
 	cache      map[string]*classResponse
 	cacheOrder []string
 
-	reqCount int64 // lifetime class requests (fault-injection trigger)
-	served   int64
-	hits     int64
+	specMu    sync.Mutex
+	specs     map[string]*classRequest
+	specOrder []string
+
+	reqCount     int64 // lifetime class requests (fault-injection trigger)
+	served       int64
+	hits         int64
+	needSpecs    int64
+	maxPipelined int64 // high-water of classes queued on one connection
 }
 
 // NewWorker listens on addr (host:port; ":0" picks a free port).
@@ -79,11 +108,15 @@ func NewWorker(addr string, opts WorkerOptions) (*Worker, error) {
 	if opts.CacheClasses == 0 {
 		opts.CacheClasses = 64
 	}
+	if opts.SpecCache <= 0 {
+		opts.SpecCache = 16
+	}
 	return &Worker{
 		opts:  opts,
 		ln:    ln,
 		conns: make(map[net.Conn]struct{}),
 		cache: make(map[string]*classResponse),
+		specs: make(map[string]*classRequest),
 	}, nil
 }
 
@@ -91,7 +124,8 @@ func NewWorker(addr string, opts WorkerOptions) (*Worker, error) {
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
 // Serve accepts coordinator connections until Close. Each connection
-// serves classes one at a time; concurrent connections run concurrently.
+// executes classes one at a time (pipelined requests queue); concurrent
+// connections run concurrently.
 func (w *Worker) Serve() error {
 	for {
 		c, err := w.ln.Accept()
@@ -142,14 +176,56 @@ func (w *Worker) Close() error {
 type WorkerCounters struct {
 	Served    int64 `json:"served"`
 	CacheHits int64 `json:"cache_hits"`
+	// NeedSpecs counts classes that arrived interned for a spec this
+	// worker did not hold and were answered with a retransmit request.
+	NeedSpecs int64 `json:"need_specs,omitempty"`
+	// MaxPipelined is the high-water count of classes in flight on one
+	// connection (the one executing plus those queued behind it).
+	MaxPipelined int64 `json:"max_pipelined,omitempty"`
 }
 
 // Counters snapshots the served-class counters.
 func (w *Worker) Counters() WorkerCounters {
 	return WorkerCounters{
-		Served:    atomic.LoadInt64(&w.served),
-		CacheHits: atomic.LoadInt64(&w.hits),
+		Served:       atomic.LoadInt64(&w.served),
+		CacheHits:    atomic.LoadInt64(&w.hits),
+		NeedSpecs:    atomic.LoadInt64(&w.needSpecs),
+		MaxPipelined: atomic.LoadInt64(&w.maxPipelined),
 	}
+}
+
+// negotiate settles the connection's protocol version from the client's
+// hello, or returns a refusal message.
+func (w *Worker) negotiate(hello helloRequest) (proto int, refuse string) {
+	max := protoVersion
+	if w.opts.MaxProto > 0 && w.opts.MaxProto < max {
+		max = w.opts.MaxProto
+	}
+	if max == 1 {
+		// Legacy emulation: protocol-1 workers predate negotiation and
+		// refuse anything but their own version outright.
+		if hello.Proto != 1 {
+			return 1, fmt.Sprintf("protocol %d, want 1", hello.Proto)
+		}
+		return 1, ""
+	}
+	switch {
+	case hello.Proto < protoFloor:
+		return max, fmt.Sprintf("protocol %d below floor %d", hello.Proto, protoFloor)
+	case hello.Min > max:
+		return max, fmt.Sprintf("client requires protocol >= %d, this worker speaks <= %d", hello.Min, max)
+	}
+	if hello.Proto < max {
+		return hello.Proto, ""
+	}
+	return max, ""
+}
+
+// inbound is one decoded class request queued for execution. hasSpec
+// records whether the frame carried the job spec.
+type inbound struct {
+	req     classRequest
+	hasSpec bool
 }
 
 func (w *Worker) serveConn(c net.Conn) {
@@ -164,31 +240,57 @@ func (w *Worker) serveConn(c net.Conn) {
 	if err := readMsg(c, &hello, 1<<16); err != nil {
 		return
 	}
-	if hello.Proto != protoVersion {
-		writeMsg(c, helloResponse{Proto: protoVersion,
-			Error: fmt.Sprintf("protocol %d, want %d", hello.Proto, protoVersion)})
+	proto, refuse := w.negotiate(hello)
+	if refuse != "" {
+		writeMsg(c, helloResponse{Proto: proto, Error: refuse})
 		return
 	}
-	if err := writeMsg(c, helloResponse{Proto: protoVersion}); err != nil {
+	compress := proto >= 2 && hello.Compress && !w.opts.NoCompress
+	if err := writeMsg(c, helloResponse{Proto: proto, Compress: compress}); err != nil {
 		return
 	}
 
-	// Reader pump: one in-flight class per connection means the pump is
-	// idle (blocked reading) during compute — which is exactly how a
-	// severed connection is noticed mid-class and the compute canceled.
-	reqs := make(chan classRequest)
+	// Reader pump: decodes frames into a buffered queue so the
+	// coordinator's in-flight credit can ship the next class while this
+	// connection computes the current one. The pump is the one blocked
+	// on the socket, so a severed connection is noticed mid-class and
+	// the compute canceled.
+	reqs := make(chan inbound, 16)
 	closed := make(chan struct{}) // pump saw a read error (peer gone)
 	done := make(chan struct{})   // this serving loop exited
 	defer close(done)
+	// inflight counts classes received but not yet answered on this
+	// connection; its high-water is the observed pipelining depth.
+	var inflight int64
 	go func() {
 		defer close(closed)
 		for {
-			var req classRequest
-			if err := readMsg(c, &req, w.opts.MaxFrameBytes); err != nil {
+			body, err := readFrame(c, w.opts.MaxFrameBytes)
+			if err != nil {
 				return
 			}
+			var in inbound
+			if proto >= 2 {
+				req, hasSpec, derr := decodeClassV2(body)
+				if derr != nil {
+					return // garbage on a negotiated link: drop the connection
+				}
+				in = inbound{req: req, hasSpec: hasSpec}
+			} else {
+				if derr := json.Unmarshal(body, &in.req); derr != nil {
+					return
+				}
+				in.hasSpec = true // protocol 1 ships the full spec every time
+			}
+			depth := atomic.AddInt64(&inflight, 1)
+			for {
+				cur := atomic.LoadInt64(&w.maxPipelined)
+				if depth <= cur || atomic.CompareAndSwapInt64(&w.maxPipelined, cur, depth) {
+					break
+				}
+			}
 			select {
-			case reqs <- req:
+			case reqs <- in:
 			case <-done:
 				return
 			}
@@ -196,9 +298,9 @@ func (w *Worker) serveConn(c net.Conn) {
 	}()
 
 	for {
-		var req classRequest
+		var in inbound
 		select {
-		case req = <-reqs:
+		case in = <-reqs:
 		case <-closed:
 			return
 		}
@@ -211,11 +313,97 @@ func (w *Worker) serveConn(c net.Conn) {
 			<-closed // injected wedge: hold the class until the peer gives up
 			return
 		}
+		req := in.req
+		if proto >= 2 {
+			if in.hasSpec {
+				w.specPut(&req)
+			} else if !w.specFill(&req) {
+				atomic.AddInt64(&w.needSpecs, 1)
+				if err := writeFrame(c, encodeNeedSpecV2(req.Seq, req.Key)); err != nil {
+					return
+				}
+				atomic.AddInt64(&inflight, -1)
+				continue
+			}
+		}
+		if w.opts.DelayPerClass > 0 {
+			select {
+			case <-time.After(w.opts.DelayPerClass):
+			case <-closed:
+				return
+			}
+		}
 		resp := w.exec(&req, closed)
-		if err := writeMsg(c, resp); err != nil {
+		if err := w.writeReply(c, proto, compress, resp); err != nil {
 			return
 		}
+		atomic.AddInt64(&inflight, -1)
 	}
+}
+
+// writeReply encodes one response for the connection's negotiated
+// protocol. Protocol-2 links ship large support payloads through the
+// EFMC compressor when negotiated and the deflated form actually wins;
+// the payload stays flat EFMS otherwise (the codec magics disambiguate
+// at the receiver).
+func (w *Worker) writeReply(c net.Conn, proto int, compress bool, resp *classResponse) error {
+	if proto < 2 {
+		return writeMsg(c, resp)
+	}
+	payload := resp.Supports
+	rawLen := len(payload)
+	if compress && rawLen >= wireCompressMin {
+		if set, err := core.DecodeModeSet(payload); err == nil && set.Q() < 1<<16 {
+			if enc := core.EncodeCompressed(set); len(enc) < rawLen {
+				payload = enc
+			}
+		}
+	}
+	return writeFrame(c, encodeResultV2(resp, payload, rawLen))
+}
+
+// specPut interns the spec fields of a spec-bearing request under its
+// job key, evicting the oldest entry past the bound.
+func (w *Worker) specPut(req *classRequest) {
+	w.specMu.Lock()
+	defer w.specMu.Unlock()
+	if _, ok := w.specs[req.Key]; ok {
+		return
+	}
+	for len(w.specOrder) >= w.opts.SpecCache && len(w.specOrder) > 0 {
+		oldest := w.specOrder[0]
+		w.specOrder = w.specOrder[1:]
+		delete(w.specs, oldest)
+	}
+	spec := *req
+	spec.Seq = 0
+	spec.Partition = nil
+	spec.Class = 0
+	spec.Depth = 0
+	spec.StrictMem = false
+	w.specs[spec.Key] = &spec
+	w.specOrder = append(w.specOrder, spec.Key)
+}
+
+// specFill copies the interned spec fields into a spec-less request,
+// reporting whether the key was held. The class coordinates and their
+// flags (strict-mem, keep-duplicates, tree, no-hybrid) always travel
+// with the request and are left untouched.
+func (w *Worker) specFill(req *classRequest) bool {
+	w.specMu.Lock()
+	spec, ok := w.specs[req.Key]
+	w.specMu.Unlock()
+	if !ok {
+		return false
+	}
+	req.Network = spec.Network
+	req.Tol = spec.Tol
+	req.MaxModes = spec.MaxModes
+	req.Workers = spec.Workers
+	req.Nodes = spec.Nodes
+	req.MemBudget = spec.MemBudget
+	req.CommTimeoutSec = spec.CommTimeoutSec
+	return true
 }
 
 // exec runs one class request, serving from the class cache when the
@@ -311,12 +499,14 @@ func (w *Worker) reduced(req *classRequest) (*reduce.Reduced, error) {
 }
 
 // cacheKey is the content address of a class request: everything but the
-// connection-scoped sequence number.
+// connection-scoped sequence number, hashed over the canonical binary
+// request encoding. The binary codec is total — unlike the JSON marshal
+// this replaces, there is no error to swallow and no way for the key to
+// silently collapse to a constant.
 func cacheKey(req *classRequest) string {
 	c := *req
 	c.Seq = 0
-	b, _ := json.Marshal(&c)
-	sum := sha256.Sum256(b)
+	sum := sha256.Sum256(encodeClassV2(&c, true))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -65,19 +65,23 @@ type ClassOutcome struct {
 // RemoteExecutor runs classes on remote workers for the scheduler.
 // Implementations are expected to be connection pools: Slots() fixed for
 // the run, one in-flight class per slot, Run blocking until the class
-// completes, the cancel channel closes, or the slot's worker is lost.
+// completes, the cancel channel closes, or the slot's worker is lost. A
+// pool may expose several slots per worker connection (in-flight
+// credit): the scheduler then runs that many dispatchers against one
+// link, prefetching the next class while the worker computes.
 type RemoteExecutor interface {
-	// Slots returns the number of workers; the scheduler starts one
-	// dispatcher goroutine per slot.
+	// Slots returns the number of concurrent class dispatchers to run;
+	// the scheduler starts one goroutine per slot.
 	Slots() int
 	// Alive reports whether the slot's worker is still usable. A slot
 	// whose Run returned ErrWorkerLost and whose Alive is false retires
 	// its dispatcher for the rest of the run.
 	Alive(slot int) bool
-	// Affinity returns the preferred slot for a class (consistent-hash
-	// routing so identical requests revisit the same worker's cache).
-	// Any int is acceptable; values map onto slots modulo Slots().
-	Affinity(c RemoteClass) int
+	// Affine reports whether the slot is a preferred home for the class
+	// (consistent-hash routing so identical requests revisit the same
+	// worker's cache). Several slots may be affine to one class when the
+	// executor multiplexes slots onto workers.
+	Affine(slot int, c RemoteClass) bool
 	// Run executes the class on the slot's worker. Errors wrapping
 	// core.ErrBudget report the class itself overflowing (re-split
 	// signal); errors wrapping ErrWorkerLost report the worker failing

@@ -48,7 +48,12 @@ func (f *fakeExec) Alive(slot int) bool {
 	return !f.dead[slot]
 }
 
-func (f *fakeExec) Affinity(c RemoteClass) int { return int(c.ID) }
+func (f *fakeExec) Affine(slot int, c RemoteClass) bool {
+	if f.slots <= 0 {
+		return false
+	}
+	return int(c.ID)%f.slots == slot
+}
 
 func (f *fakeExec) Run(slot int, c RemoteClass, cancel <-chan struct{}) (*ClassOutcome, error) {
 	f.mu.Lock()

@@ -382,10 +382,9 @@ func (s *scheduler) remoteLoop(slot int) {
 // the largest overall. Caller holds s.mu and guarantees a non-empty
 // queue. The second return marks a steal (off-affinity pull).
 func (s *scheduler) popFor(slot int) (*schedItem, bool) {
-	slots := s.remote.Slots()
 	best := -1
 	for i := range s.queue {
-		if s.affinitySlot(s.queue[i], slots) != slot {
+		if !s.remote.Affine(slot, s.remoteSpec(s.queue[i], false)) {
 			continue
 		}
 		if best < 0 || s.queue.Less(i, best) {
@@ -396,18 +395,6 @@ func (s *scheduler) popFor(slot int) (*schedItem, bool) {
 		return heap.Remove(&s.queue, best).(*schedItem), false
 	}
 	return heap.Pop(&s.queue).(*schedItem), true
-}
-
-// affinitySlot maps an item's executor affinity onto a valid slot.
-func (s *scheduler) affinitySlot(it *schedItem, slots int) int {
-	if slots <= 0 {
-		return 0
-	}
-	a := s.remote.Affinity(s.remoteSpec(it, false)) % slots
-	if a < 0 {
-		a += slots
-	}
-	return a
 }
 
 // remoteSpec builds the wire-independent class description for an item.

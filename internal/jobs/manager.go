@@ -152,6 +152,12 @@ type Stats struct {
 	// Workers snapshots the coordinator's per-worker link counters
 	// (Config.Remote only; omitted otherwise).
 	Workers []distrib.WorkerStats `json:"workers,omitempty"`
+	// RemotePayloadBytes / RemoteWireBytes are the fleet-total logical
+	// payload vs framed wire bytes of the class data plane, summed over
+	// Workers — their ratio is the win from spec interning, binary
+	// framing, and payload compression.
+	RemotePayloadBytes int64 `json:"remote_payload_bytes,omitempty"`
+	RemoteWireBytes    int64 `json:"remote_wire_bytes,omitempty"`
 }
 
 // Manager owns the job lifecycle. Construct with New, stop with
@@ -475,6 +481,10 @@ func (m *Manager) Stats() Stats {
 	}
 	if m.cfg.Remote != nil {
 		s.Workers = m.cfg.Remote.Stats()
+		for _, ws := range s.Workers {
+			s.RemotePayloadBytes += ws.PayloadBytes
+			s.RemoteWireBytes += ws.WireBytes
+		}
 	}
 	return s
 }

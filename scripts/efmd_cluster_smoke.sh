@@ -69,6 +69,16 @@ DISPATCHED=$(jq -r '[.workers[].dispatched] | add' "$WORKDIR/varz1.json")
 [ "$DISPATCHED" -gt 0 ] || fail "no classes dispatched to any worker"
 echo "   $REMOTE classes on $NWORKERS workers ($DISPATCHED dispatched)"
 
+echo "== protocol 2 negotiated, wire bytes below payload bytes"
+PROTO=$(jq -r '[.workers[].proto] | max' "$WORKDIR/varz1.json")
+[ "$PROTO" = 2 ] || fail "fleet negotiated protocol $PROTO, want 2"
+PAYLOAD=$(jq -r .remote_payload_bytes "$WORKDIR/varz1.json")
+WIRE=$(jq -r .remote_wire_bytes "$WORKDIR/varz1.json")
+[ "$PAYLOAD" -gt 0 ] || fail "remote_payload_bytes is $PAYLOAD after a distributed job"
+[ "$WIRE" -gt 0 ] || fail "remote_wire_bytes is $WIRE after a distributed job"
+[ "$WIRE" -lt "$PAYLOAD" ] || fail "wire bytes $WIRE not below payload bytes $PAYLOAD (interning/compression inert)"
+echo "   protocol $PROTO, $WIRE wire bytes for $PAYLOAD payload bytes"
+
 echo "== kill -9 one worker, run against the degraded fleet"
 kill -9 "$WORKER1_PID" 2>/dev/null || true
 wait "$WORKER1_PID" 2>/dev/null || true
