@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/stats"
+	"elmocomp/internal/synth"
+)
+
+// synthNetwork round-trips one synthetic grid point through the public
+// parser, matching the instances the differential harness sweeps.
+func synthNetwork(layers, width, cross int, revFrac float64, seed int64) (*elmocomp.Network, error) {
+	n, err := synth.Network(synth.Params{
+		Layers: layers, Width: width, CrossLinks: cross,
+		ReversibleFraction: revFrac, MaxCoef: 2, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return elmocomp.ParseNetworkString(n.String())
+}
+
+// backendsEntry is one (network, backend) cell of the cross-family
+// comparison. Candidates counts intermediate candidate modes for the
+// double-description family and visited bases for reverse search — the
+// two families' headline cost metrics, deliberately in one column so
+// the trajectory file tracks both from day one.
+type backendsEntry struct {
+	Network           string `json:"network"`
+	Backend           string `json:"backend"`
+	NsPerOp           int64  `json:"ns_per_op"`
+	EFMs              int    `json:"efms"`
+	Candidates        int64  `json:"candidates"`
+	PeakNodeBytes     int64  `json:"peak_node_bytes"`
+	Fingerprint       string `json:"fingerprint"`
+	RevsearchPivots   int64  `json:"revsearch_pivots,omitempty"`
+	RevsearchJobs     int64  `json:"revsearch_jobs,omitempty"`
+	RevsearchMaxDepth int    `json:"revsearch_max_depth,omitempty"`
+}
+
+type backendsReport struct {
+	Benchmark  string          `json:"benchmark"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []backendsEntry `json:"results"`
+}
+
+// backendsYeastSub rebuilds yeast1 without the high-multiplicity
+// reversible reactions that drive its 760k-mode explosion (the
+// enumeration-order rows 56-64 of docs/network1_fullrun.log). The
+// remaining 71-reaction sub-model has 33 EFMs — small enough for the
+// reverse-search family, still a real metabolic network rather than a
+// synthetic grid point.
+func backendsYeastSub() (*elmocomp.Network, error) {
+	drop := map[string]bool{
+		"R32r": true, "R36r": true, "R19r": true, "R17r": true,
+		"R18r": true, "R20r": true, "R7r": true,
+	}
+	net, err := elmocomp.Builtin("yeast1")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ln := range strings.Split(net.Canonical(), "\n") {
+		trimmed := strings.TrimSpace(ln)
+		if trimmed == "" {
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "name ") && !strings.HasPrefix(trimmed, "external ") {
+			name := strings.TrimSpace(strings.SplitN(trimmed, ":", 2)[0])
+			if drop[name] {
+				continue
+			}
+		}
+		out = append(out, trimmed)
+	}
+	return elmocomp.ParseNetworkString(strings.Join(out, "\n") + "\n")
+}
+
+// expBackends races the two enumeration families — double-description
+// nullspace and lexicographic reverse search — over a ladder of
+// networks, holding their canonical fingerprints equal per network (the
+// cross-family invariant) and recording both cost metrics side by side.
+// Reverse search pays per visited basis, so the ladder stops at
+// low-degeneracy instances; the yeast1 sub-model (with -full) is the
+// largest point where both families finish in CI time.
+func expBackends(cfg benchConfig) error {
+	type workload struct {
+		name string
+		load func() (*elmocomp.Network, error)
+	}
+	loads := []workload{
+		{"toy", func() (*elmocomp.Network, error) { return elmocomp.Builtin("toy") }},
+		{"synth-pointed", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 3, 3, 0, 9)
+		}},
+		{"synth-mixed", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 3, 3, 0.5, 9)
+		}},
+		{"synth-reversible", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 2, 3, 1, 10)
+		}},
+	}
+	if cfg.full {
+		loads = append(loads, workload{"yeast1-sub", backendsYeastSub})
+	}
+	backends := []struct {
+		name string
+		b    elmocomp.Backend
+	}{
+		{"nullspace", elmocomp.NullspaceBackend},
+		{"revsearch", elmocomp.ReverseSearchBackend},
+	}
+	report := backendsReport{Benchmark: "backends", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	tb := stats.NewTable("enumeration families on one ladder (fingerprints must match per network)",
+		"network", "backend", "wall (s)", "EFMs", "candidates/bases", "peak mem", "fingerprint")
+	for _, wl := range loads {
+		net, err := wl.load()
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		var baseFP uint64
+		for i, bk := range backends {
+			start := time.Now()
+			res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{
+				Backend:  bk.b,
+				Progress: progress(cfg),
+			})
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", wl.name, bk.name, err)
+			}
+			if i == 0 {
+				baseFP = res.Fingerprint()
+			} else if res.Fingerprint() != baseFP {
+				return fmt.Errorf("%s: %s fingerprint %016x differs from %s %016x — cross-family invariant broken",
+					wl.name, bk.name, res.Fingerprint(), backends[0].name, baseFP)
+			}
+			entry := backendsEntry{
+				Network:       wl.name,
+				Backend:       bk.name,
+				NsPerOp:       int64(elapsed * 1e9),
+				EFMs:          res.Len(),
+				Candidates:    res.CandidateModes,
+				PeakNodeBytes: res.PeakNodeBytes,
+				Fingerprint:   fmt.Sprintf("%016x", res.Fingerprint()),
+			}
+			if rs := res.RevSearch; rs != nil {
+				entry.RevsearchPivots = rs.Pivots
+				entry.RevsearchJobs = rs.Jobs
+				entry.RevsearchMaxDepth = rs.MaxDepth
+			}
+			report.Results = append(report.Results, entry)
+			tb.AddRow(wl.name, bk.name, stats.Seconds(elapsed), stats.Count(int64(entry.EFMs)),
+				stats.Count(entry.Candidates), stats.Bytes(entry.PeakNodeBytes), entry.Fingerprint)
+		}
+	}
+	tb.AddNote("candidates/bases: double description counts generated candidate modes, reverse search counts visited bases")
+	if !cfg.full {
+		tb.AddNote("pass -full to add the yeast1 sub-model (explosion-driving reversibles removed; 33 EFMs)")
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.backendsJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.backendsJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.backendsJSONPath)
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ type benchConfig struct {
 	memwallJSONPath  string
 	distJSONPath     string
 	distwireJSONPath string
+	backendsJSONPath string
 }
 
 type experiment struct {
@@ -64,6 +65,7 @@ var experiments = []experiment{
 	{"memwall", "compressed and spill mode-store tiers vs flat on the pointed workload (writes BENCH_memwall.json)", expMemwall},
 	{"dist", "coordinator/worker class sharding over loopback TCP across fleet sizes (writes BENCH_dist.json)", expDist},
 	{"distwire", "distributed data plane: protocol-1 JSON vs protocol-2 binary/interned/compressed links (writes BENCH_distwire.json)", expDistwire},
+	{"backends", "double-description vs reverse-search enumeration families, fingerprint-gated (writes BENCH_backends.json)", expBackends},
 }
 
 func main() {
@@ -79,6 +81,7 @@ func main() {
 		memwallJSON = flag.String("memwall-json", "BENCH_memwall.json", "machine-readable output file for the memwall experiment")
 		distJSON     = flag.String("dist-json", "BENCH_dist.json", "machine-readable output file for the dist experiment")
 		distwireJSON = flag.String("distwire-json", "BENCH_distwire.json", "machine-readable output file for the distwire experiment")
+		backendsJSON = flag.String("backends-json", "BENCH_backends.json", "machine-readable output file for the backends experiment")
 		groups      = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
 		budget      = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		commTO      = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
@@ -100,7 +103,8 @@ func main() {
 	}
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
 		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON,
-		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON, distwireJSONPath: *distwireJSON}
+		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON, distwireJSONPath: *distwireJSON,
+		backendsJSONPath: *backendsJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

@@ -28,7 +28,8 @@ func main() {
 	var (
 		modelName = flag.String("model", "", "built-in network: "+strings.Join(elmocomp.BuiltinNames(), ", "))
 		file      = flag.String("file", "", "network file in reaction-equation format")
-		algorithm = flag.String("algorithm", "serial", "serial | parallel | dnc")
+		backend   = flag.String("backend", "nullspace", "enumeration family: nullspace (double description) | revsearch (lexicographic reverse search)")
+		algorithm = flag.String("algorithm", "serial", "serial | parallel | dnc (nullspace backend only)")
 		nodes     = flag.Int("nodes", 1, "simulated compute nodes (parallel, dnc)")
 		workers   = flag.Int("workers", 0, "shared-memory workers per engine/node (0 = all cores)")
 		qsub      = flag.Int("qsub", 2, "divide-and-conquer partition size")
@@ -89,6 +90,14 @@ func main() {
 		}
 		cfg.MemBudgetBytes = b
 	}
+	switch *backend {
+	case "nullspace":
+		cfg.Backend = elmocomp.NullspaceBackend
+	case "revsearch":
+		cfg.Backend = elmocomp.ReverseSearchBackend
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (nullspace | revsearch)", *backend))
+	}
 	switch *algorithm {
 	case "serial":
 		cfg.Algorithm = elmocomp.Serial
@@ -135,6 +144,10 @@ func main() {
 		fmt.Printf("reduction: %s\n", res.ReductionSummary())
 		fmt.Printf("elementary flux modes: %s\n", stats.Count(int64(res.Len())))
 		fmt.Printf("candidate modes generated: %s\n", stats.Count(res.CandidateModes))
+		if rs := res.RevSearch; rs != nil {
+			fmt.Printf("reverse search: %s bases in %d subtree jobs, %s pivots, max depth %d\n",
+				stats.Count(rs.Bases), rs.Jobs, stats.Count(rs.Pivots), rs.MaxDepth)
+		}
 		fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
 		if res.Scheduler != nil {
 			fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",

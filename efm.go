@@ -39,6 +39,7 @@ import (
 	"elmocomp/internal/nullspace"
 	"elmocomp/internal/parallel"
 	"elmocomp/internal/reduce"
+	"elmocomp/internal/revsearch"
 )
 
 // Failure sentinels of the distributed drivers, re-exported so callers
@@ -133,6 +134,31 @@ const (
 	DivideAndConquer
 )
 
+// Backend selects the enumeration algorithm family. The two families
+// share nothing past the exact-rational linear algebra and the
+// canonical support representation, and compute bitwise-identical
+// results (fingerprint equality is CI-enforced on the differential
+// grid), which is why Backend is normalized out of RequestKey: it is an
+// execution-shape option, like Workers or the store tier.
+type Backend int
+
+const (
+	// NullspaceBackend is the double-description family: the paper's
+	// Nullspace Algorithm, driven by Config.Algorithm (serial, cluster
+	// parallel, divide-and-conquer, distributed). The default.
+	NullspaceBackend Backend = iota
+	// ReverseSearchBackend enumerates by lexicographic reverse search
+	// (the lrs/mplrs family) on the split-reversible cone: depth-first
+	// over the simplex-tree of the normalized polytope, O(tree depth)
+	// memory per worker, subtree-parallel via Config.Workers.
+	// Config.Algorithm, Nodes, Qsub, GroupConcurrency, Partition, the
+	// store tier and the memory budget do not apply and are ignored;
+	// MaxIntermediateModes is rejected (reverse search has no
+	// intermediate mode matrices to budget — every run is exhaustive,
+	// which is what keeps the backend result-neutral).
+	ReverseSearchBackend
+)
+
 // ElementarityTest selects the candidate test of the core engine.
 type ElementarityTest int
 
@@ -173,6 +199,10 @@ func coreStoreTier(t StoreTier) core.StoreTier {
 // Config controls a computation. The zero value runs the serial
 // algorithm with the paper's defaults.
 type Config struct {
+	// Backend selects the enumeration algorithm family (default: the
+	// double-description Nullspace drivers). See Backend.
+	Backend Backend
+	// Algorithm selects the driver within NullspaceBackend.
 	Algorithm Algorithm
 	// Nodes is the simulated compute-node count for Parallel and
 	// DivideAndConquer (default 1).
@@ -395,6 +425,31 @@ type Result struct {
 	// MemResplits counts divide-and-conquer re-splits triggered by the
 	// memory budget (both drivers).
 	MemResplits int
+	// RevSearch holds the reverse-search backend's counters
+	// (Config.Backend == ReverseSearchBackend only; nil otherwise).
+	RevSearch *RevSearchStats
+}
+
+// RevSearchStats summarizes a reverse-search backend run. Bases,
+// Vertices and MaxDepth are deterministic for a given network; Jobs is
+// deterministic for a given subtree budget.
+type RevSearchStats struct {
+	// Bases counts visited reverse-search tree nodes (lex-feasible
+	// simplex dictionaries) — the backend's candidate-cost analogue,
+	// mirrored into Result.CandidateModes.
+	Bases int64
+	// Vertices counts distinct polytope vertices (EFM supports before
+	// canonical split folding).
+	Vertices int64
+	// Pivots counts exact tableau pivots, including trial child-test
+	// pivots and their inverses.
+	Pivots int64
+	// Phase1Pivots and RootPivots count the startup simplex work.
+	Phase1Pivots, RootPivots int64
+	// Jobs counts scheduled restartable subtree jobs; MaxDepth is the
+	// deepest tree level.
+	Jobs     int64
+	MaxDepth int
 }
 
 // Fingerprint folds the result's canonical support list into a 64-bit
@@ -654,6 +709,42 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}, remoteBind func
 	}
 
 	res := &Result{network: n.inner, red: red}
+	if cfg.Backend == ReverseSearchBackend {
+		if cfg.MaxIntermediateModes != 0 {
+			return nil, fmt.Errorf("elmocomp: MaxIntermediateModes is a double-description budget; the reverse-search backend enumerates exhaustively")
+		}
+		if remoteBind != nil {
+			return nil, fmt.Errorf("elmocomp: the reverse-search backend does not dispatch to remote workers")
+		}
+		ropts := revsearch.Options{Workers: cfg.Workers, Cancel: cancel}
+		if cfg.Progress != nil {
+			ropts.Progress = func(bases, vertices int64) {
+				cfg.Progress(fmt.Sprintf("reverse search: %d bases visited, %d vertices", bases, vertices))
+			}
+		}
+		run, err := revsearch.Run(red.N, red.Reversibilities(), ropts)
+		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				err = fmt.Errorf("%v: %w", err, cluster.ErrCanceled)
+			}
+			return nil, err
+		}
+		res.supports = core.CanonicalSupports(run.CoreResult())
+		res.CandidateModes = run.Stats.Bases
+		res.PeakNodeBytes = run.Stats.PeakBytes
+		res.RevSearch = &RevSearchStats{
+			Bases:        run.Stats.Bases,
+			Vertices:     run.Stats.Vertices,
+			Pivots:       run.Stats.Pivots,
+			Phase1Pivots: run.Stats.Phase1Pivots,
+			RootPivots:   run.Stats.RootPivots,
+			Jobs:         run.Stats.Jobs,
+			MaxDepth:     run.Stats.MaxDepth,
+		}
+		return res, nil
+	} else if cfg.Backend != NullspaceBackend {
+		return nil, fmt.Errorf("elmocomp: unknown backend %d", cfg.Backend)
+	}
 	switch cfg.Algorithm {
 	case Serial:
 		p, err := nullspace.New(red.N, red.Reversibilities(), h)

@@ -138,6 +138,35 @@ func TestSchedulerCounters(t *testing.T) {
 	}
 }
 
+// TestSchedStatsFreshPerRepetition pins the benchmark-repetition
+// contract behind BENCH_dnc.json: every scheduled run allocates its own
+// recorder (runScheduled), so back-to-back runs — efmbench rows, or any
+// harness looping over group counts — must report identical
+// deterministic counters, never the previous repetition's folded in.
+func TestSchedStatsFreshPerRepetition(t *testing.T) {
+	red := toyReduced(t)
+	opts := Options{Qsub: 2, GroupConcurrency: 2}
+	var first *Result
+	for rep := 0; rep < 3; rep++ {
+		res, err := Run(red.N, red.Reversibilities(), opts)
+		if err != nil {
+			t.Fatalf("repetition %d: %v", rep, err)
+		}
+		if rep == 0 {
+			first = res
+			if res.Sched.Enqueued == 0 {
+				t.Fatal("first repetition recorded no scheduler work")
+			}
+			continue
+		}
+		s, w := res.Sched, first.Sched
+		if s.Enqueued != w.Enqueued || s.Steals != w.Steals || s.Resplits != w.Resplits ||
+			s.MemResplits != w.MemResplits || s.Unresolved != w.Unresolved || len(s.Classes) != len(w.Classes) {
+			t.Fatalf("repetition %d counters inflated:\n got %s\nwant %s", rep, s, w)
+		}
+	}
+}
+
 // TestSchedulerProgressSerialized verifies the documented Progress
 // contract: the callback is never entered concurrently with itself, and
 // every enumerated class arrives exactly once.

@@ -1,0 +1,96 @@
+package revsearch
+
+import (
+	"math/big"
+	"testing"
+
+	"elmocomp/internal/ratmat"
+)
+
+// FuzzRevsearchPivot pins the two exactness properties the traversal
+// stands on. First, dictionaries are uniquely determined by their basis:
+// pivot(r, s) followed by pivot(r, w) — with w the variable displaced by
+// the first call — must restore every entry of the tableau EXACTLY
+// (numerator, denominator and row association), because walk() descends
+// and unpivots along the same (row, column) pair and any drift would
+// corrupt every sibling subtree explored afterwards. Second, the lazy
+// child test must agree with reality: for a positive pivot element, the
+// sign childEntrySign predicts from the parent must equal the sign the
+// entry actually has after pivoting.
+func FuzzRevsearchPivot(f *testing.F) {
+	f.Add([]byte{2, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 255, 254, 253, 1, 2, 3})
+	f.Add([]byte{3, 1, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 1
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		m := int(next()%3) + 1
+		n := m + int(next()%4) + 1
+		A := ratmat.New(m, n)
+		b := make([]*big.Rat, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				v := next()
+				A.Set(i, j, big.NewRat(int64(v%7)-3, int64(v%3)+1))
+			}
+			v := next()
+			b[i] = big.NewRat(int64(v%7)-3, int64(v%3)+1)
+		}
+		basis := make([]int, m)
+		for i := range basis {
+			basis[i] = i
+		}
+		l := &lp{m: m, n: n, A: A, b: b, lexCols: basis}
+		tab, err := l.fromBasis(basis)
+		if err != nil {
+			t.Skip() // dependent basis columns; not a dictionary
+		}
+		// Pick a pivot: any row, any cobasic column with a nonzero entry.
+		r := int(next()) % m
+		s := -1
+		off := int(next())
+		for k := 0; k < n; k++ {
+			c := (off + k) % n
+			if tab.rowOf[c] < 0 && tab.rows[r][c].Sign() != 0 {
+				s = c
+				break
+			}
+		}
+		if s < 0 {
+			t.Skip() // row is zero on every cobasic column
+		}
+		orig := tab.clone()
+		w := tab.basisOf[r]
+		positivePivot := tab.rows[r][s].Sign() > 0
+		tab.pivot(r, s)
+		if positivePivot {
+			for i := 0; i < m; i++ {
+				if i == r {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if got, want := orig.childEntrySign(i, j, r, s), tab.rows[i][j].Sign(); got != want {
+						t.Fatalf("childEntrySign(%d,%d) predicted %d from the parent, pivoted entry has sign %d", i, j, got, want)
+					}
+				}
+			}
+		}
+		tab.pivot(r, w)
+		if !tab.equal(orig) {
+			t.Fatal("pivot/unpivot did not restore the tableau exactly")
+		}
+		if tab.basisOf[r] != w || tab.rowOf[s] >= 0 {
+			t.Fatalf("basis association corrupted: row %d holds %d, rowOf[%d]=%d", r, tab.basisOf[r], s, tab.rowOf[s])
+		}
+	})
+}

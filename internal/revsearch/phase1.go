@@ -1,0 +1,218 @@
+package revsearch
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/ratmat"
+)
+
+// errInfeasible marks a cone with no nonzero non-negative flux: the
+// normalized polytope is empty and the EFM set is empty. Callers treat
+// it as a successful zero-mode run, mirroring the double-description
+// drivers, which enumerate the trivial set in the same situation.
+var errInfeasible = errors.New("revsearch: normalization slice is empty (no non-negative steady-state flux)")
+
+// buildLP stacks the permuted split stoichiometry over the
+// normalization row 1^T, drops linearly dependent constraint rows, and
+// detects the empty polytope. The nullspace preparation must be pointed
+// (every reversible split), which Run guarantees.
+func buildLP(p *nullspace.Problem) (*lp, error) {
+	m, q := p.M(), p.Q()
+	A := ratmat.New(m+1, q)
+	for i := 0; i < m; i++ {
+		for j := 0; j < q; j++ {
+			A.Set(i, j, p.NExact.At(i, j))
+		}
+	}
+	for j := 0; j < q; j++ {
+		A.SetInt(m, j, 1)
+	}
+	b := make([]*big.Rat, m+1)
+	for i := 0; i < m; i++ {
+		b[i] = newRat()
+	}
+	b[m] = big.NewRat(1, 1)
+
+	// Rank of [A | b] vs A: when b adds rank, Ax = b has no solution at
+	// all — in the EFM problem this is precisely "1^T is a combination
+	// of stoichiometry rows", i.e. every steady-state flux sums to zero
+	// and the cone is {0}.
+	aug := ratmat.New(m+1, q+1)
+	for i := 0; i <= m; i++ {
+		for j := 0; j < q; j++ {
+			aug.Set(i, j, A.At(i, j))
+		}
+		aug.Set(i, q, b[i])
+	}
+	keep := A.IndependentRows()
+	if aug.Rank() > len(keep) {
+		return nil, errInfeasible
+	}
+	if len(keep) < m+1 {
+		A = A.SelectRows(keep)
+		nb := make([]*big.Rat, len(keep))
+		for i, r := range keep {
+			nb[i] = b[r]
+		}
+		b = nb
+	}
+	return &lp{m: A.Rows(), n: q, A: A, b: b}, nil
+}
+
+// phase1 finds a feasible basis of the lp with the textbook two-phase
+// method: artificial variables seed the basis, their sum is minimized
+// under Bland's rule (exact arithmetic, so the least-index rule is a
+// complete anti-cycling guarantee), and leftover zero-level artificials
+// are pivoted out against structural columns (always possible: the
+// constraint rows are independent). On success the lp's lexCols is set
+// to the feasible basis in ascending order and the corresponding
+// structural dictionary is returned.
+func phase1(l *lp, cancel <-chan struct{}) (*tableau, error) {
+	m, n := l.m, l.n
+	// Extended dictionary over n structural + m artificial columns.
+	ext := &tableau{
+		lp:      &lp{m: m, n: n + m},
+		rows:    make([][]*big.Rat, m),
+		basisOf: make([]int, m),
+		rowOf:   make([]int, n+m),
+	}
+	for i := range ext.rowOf {
+		ext.rowOf[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		row := make([]*big.Rat, n+m+1)
+		neg := l.b[i].Sign() < 0
+		for j := 0; j < n; j++ {
+			row[j] = newRat().Set(l.A.At(i, j))
+			if neg {
+				row[j].Neg(row[j])
+			}
+		}
+		for j := 0; j < m; j++ {
+			row[n+j] = newRat()
+		}
+		row[n+i] = big.NewRat(1, 1)
+		row[n+m] = newRat().Set(l.b[i])
+		if neg {
+			row[n+m].Neg(row[n+m])
+		}
+		ext.rows[i] = row
+		ext.basisOf[i] = n + i
+		ext.rowOf[n+i] = i
+	}
+
+	// Minimize the artificial sum with Bland's rule. The reduced cost of
+	// column j is -sum of T[r][j] over rows whose basic variable is
+	// artificial (plus 1 when j itself is artificial); entering wants it
+	// negative, i.e. the artificial-row column sum positive.
+	var x big.Rat
+	for iter := 0; ; iter++ {
+		if iter%64 == 0 && canceled(cancel) {
+			return nil, ErrCanceled
+		}
+		enter := -1
+		for j := 0; j < n; j++ {
+			if ext.rowOf[j] >= 0 {
+				continue
+			}
+			sum := 0
+			var acc big.Rat
+			for r := 0; r < m; r++ {
+				if ext.basisOf[r] >= n {
+					acc.Add(&acc, ext.rows[r][j])
+				}
+			}
+			sum = acc.Sign()
+			if sum > 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break
+		}
+		// Bland leaving: minimum ratio bbar/T over positive entries,
+		// ties to the least basic variable index.
+		leave := -1
+		for r := 0; r < m; r++ {
+			if ext.rows[r][enter].Sign() <= 0 {
+				continue
+			}
+			if leave < 0 {
+				leave = r
+				continue
+			}
+			// Compare bbar[r]/T[r][enter] vs bbar[leave]/T[leave][enter].
+			x.Mul(ext.rows[r][n+m], ext.rows[leave][enter])
+			var y big.Rat
+			y.Mul(ext.rows[leave][n+m], ext.rows[r][enter])
+			switch x.Cmp(&y) {
+			case -1:
+				leave = r
+			case 0:
+				if ext.basisOf[r] < ext.basisOf[leave] {
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, fmt.Errorf("revsearch: phase-1 entering column %d unbounded", enter)
+		}
+		ext.pivot(leave, enter)
+	}
+	// Optimal: infeasible iff any artificial still carries flow.
+	for r := 0; r < m; r++ {
+		if ext.basisOf[r] >= n && ext.rows[r][n+m].Sign() != 0 {
+			return nil, errInfeasible
+		}
+	}
+	// Drive zero-level artificials out on any nonzero structural entry.
+	for r := 0; r < m; r++ {
+		if ext.basisOf[r] < n {
+			continue
+		}
+		done := false
+		for j := 0; j < n; j++ {
+			if ext.rowOf[j] < 0 && ext.rows[r][j].Sign() != 0 {
+				ext.pivot(r, j)
+				done = true
+				break
+			}
+		}
+		if !done {
+			return nil, fmt.Errorf("revsearch: cannot drive artificial out of row %d (dependent constraint row survived)", r)
+		}
+	}
+
+	basis := make([]int, 0, m)
+	for v := 0; v < n; v++ {
+		if ext.rowOf[v] >= 0 {
+			basis = append(basis, v)
+		}
+	}
+	l.lexCols = basis
+	t, err := l.fromBasis(basis)
+	if err != nil {
+		return nil, err
+	}
+	t.pivots += ext.pivots
+	if !t.lexFeasible() {
+		return nil, fmt.Errorf("revsearch: phase-1 basis is not lex-feasible")
+	}
+	return t, nil
+}
+
+func canceled(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		return false
+	}
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,120 @@
+package revsearch
+
+import (
+	"errors"
+	"testing"
+
+	"elmocomp/internal/core"
+	"elmocomp/internal/model"
+	"elmocomp/internal/nullspace"
+	"elmocomp/internal/ratmat"
+	"elmocomp/internal/reduce"
+	"elmocomp/internal/synth"
+)
+
+// reducedNet parses and reduces a network for direct backend runs.
+func reducedNet(t *testing.T, n *model.Network) *reduce.Reduced {
+	t.Helper()
+	red, err := reduce.Network(n, reduce.Options{MergeDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return red
+}
+
+// serialFingerprint computes the double-description reference:
+// canonical supports + fingerprint via the serial combinatorial engine
+// on the same reduced network.
+func serialFingerprint(t *testing.T, red *reduce.Reduced) (uint64, int) {
+	t.Helper()
+	p, err := nullspace.New(red.N, red.Reversibilities(), nullspace.Heuristics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.Run(p, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports := core.CanonicalSupports(run)
+	return core.SupportsFingerprint(supports), len(supports)
+}
+
+func revsearchFingerprint(t *testing.T, red *reduce.Reduced, opts Options) (uint64, int, *Result) {
+	t.Helper()
+	res, err := Run(red.N, red.Reversibilities(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports := core.CanonicalSupports(res.CoreResult())
+	return core.SupportsFingerprint(supports), len(supports), res
+}
+
+func TestRevsearchToyMatchesSerial(t *testing.T) {
+	red := reducedNet(t, model.Builtin("toy"))
+	wantFP, wantLen := serialFingerprint(t, red)
+	gotFP, gotLen, res := revsearchFingerprint(t, red, Options{Workers: 1})
+	if gotFP != wantFP || gotLen != wantLen {
+		t.Fatalf("revsearch: %d EFMs fp %016x, serial: %d fp %016x", gotLen, gotFP, wantLen, wantFP)
+	}
+	if res.Stats.Bases == 0 || res.Stats.Vertices == 0 {
+		t.Fatalf("empty stats: %+v", res.Stats)
+	}
+	t.Logf("toy: %d EFMs, %s", gotLen, res.Stats)
+}
+
+func TestRevsearchSynthGridMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact reverse search on the synth grid; skipped with -short")
+	}
+	points := []synth.Params{
+		{Layers: 2, Width: 2, CrossLinks: 1, ReversibleFraction: 0, MaxCoef: 2, Seed: 7},
+		{Layers: 3, Width: 2, CrossLinks: 2, ReversibleFraction: 0.3, MaxCoef: 2, Seed: 8},
+		{Layers: 3, Width: 3, CrossLinks: 3, ReversibleFraction: 0.5, MaxCoef: 2, Seed: 9},
+		{Layers: 4, Width: 3, CrossLinks: 2, ReversibleFraction: 1, MaxCoef: 2, Seed: 10},
+	}
+	for _, pt := range points {
+		n, err := synth.Network(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red := reducedNet(t, n)
+		wantFP, wantLen := serialFingerprint(t, red)
+		gotFP, gotLen, res := revsearchFingerprint(t, red, Options{Workers: 1})
+		if gotFP != wantFP || gotLen != wantLen {
+			t.Errorf("seed %d: revsearch %d EFMs fp %016x, serial %d fp %016x",
+				pt.Seed, gotLen, gotFP, wantLen, wantFP)
+			continue
+		}
+		t.Logf("seed %d: %d EFMs, %s", pt.Seed, gotLen, res.Stats)
+	}
+}
+
+// TestRevsearchInfeasibleCone pins the zero-EFM corner: N = [1 1] with
+// both reactions irreversible has a one-dimensional kernel but no
+// nonzero non-negative steady-state flux (the normalization slice is
+// empty — 1^T lies in the stoichiometry row space). The enumerator must
+// return the empty set, not an error, matching what the
+// double-description engine computes on the same degenerate input.
+func TestRevsearchInfeasibleCone(t *testing.T) {
+	N := ratmat.FromInts([][]int64{{1, 1}})
+	res, err := Run(N, []bool{false, false}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modes.Len() != 0 {
+		t.Fatalf("infeasible cone produced %d modes", res.Modes.Len())
+	}
+	if res.Stats.Bases != 0 {
+		t.Fatalf("infeasible cone visited %d bases", res.Stats.Bases)
+	}
+}
+
+func TestRevsearchCancelPreClosed(t *testing.T) {
+	red := reducedNet(t, model.Builtin("toy"))
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := Run(red.N, red.Reversibilities(), Options{Workers: 1, Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-closed cancel returned %v, want ErrCanceled", err)
+	}
+}

@@ -1,0 +1,389 @@
+package revsearch
+
+import (
+	"fmt"
+	"math/big"
+
+	"elmocomp/internal/ratmat"
+)
+
+// lp is the prepared linear program whose vertices the reverse search
+// enumerates: P = {x in Q^n : Ax = b, x >= 0}, with A of full row rank.
+// For the EFM problem A stacks the permuted split stoichiometry on top
+// of the normalization row 1^T and b = (0,...,0,1); the vertices of P
+// are then exactly the normalized extreme rays of the pointed flux cone.
+type lp struct {
+	m int // constraint rows (after dependent-row elimination)
+	n int // structural variables (split problem columns)
+	A *ratmat.Matrix
+	b []*big.Rat
+	// lexCols is the initial feasible basis B0 in ascending variable
+	// order. It defines the primal lexicographic perturbation
+	// b(eps) = b + A_{B0} (eps, eps^2, ..., eps^m): the perturbed value
+	// of basic row i is the tuple (bbar_i, T[i][lexCols[0]], ...,
+	// T[i][lexCols[m-1]]), read straight out of the current tableau.
+	// Fixed once after phase 1; every tableau of one run shares it.
+	lexCols []int
+}
+
+// tableau is one simplex dictionary of the lp: T = A_B^{-1} [A | b],
+// with the right-hand side stored in column n. Row r carries basic
+// variable basisOf[r] (its column in T is a unit vector). The dictionary
+// is exact: entries are uniquely determined by the basis (and the row
+// association), so any pivot path returning to a basis restores the
+// identical *big.Rat representation — the property FuzzRevsearchPivot
+// pins.
+type tableau struct {
+	lp      *lp
+	rows    [][]*big.Rat // m x (n+1); column n is bbar
+	basisOf []int        // row -> variable
+	rowOf   []int        // variable -> row, -1 when cobasic
+	pivots  int64        // exact pivot count (cost metric)
+}
+
+func newRat() *big.Rat { return new(big.Rat) }
+
+// fromBasis rebuilds the dictionary of a basis from scratch by
+// Gauss-Jordan elimination of [A | b] on the basis columns — the
+// restartable-subtree entry point. basis must be ascending and
+// invertible; rows end up sorted by basic variable.
+func (l *lp) fromBasis(basis []int) (*tableau, error) {
+	if len(basis) != l.m {
+		return nil, fmt.Errorf("revsearch: basis has %d variables, want %d", len(basis), l.m)
+	}
+	t := &tableau{
+		lp:      l,
+		rows:    make([][]*big.Rat, l.m),
+		basisOf: append([]int(nil), basis...),
+		rowOf:   make([]int, l.n),
+	}
+	for i := range t.rowOf {
+		t.rowOf[i] = -1
+	}
+	for i := 0; i < l.m; i++ {
+		row := make([]*big.Rat, l.n+1)
+		for j := 0; j < l.n; j++ {
+			row[j] = newRat().Set(l.A.At(i, j))
+		}
+		row[l.n] = newRat().Set(l.b[i])
+		t.rows[i] = row
+	}
+	for i, v := range basis {
+		// Find a pivot row at or below position i with a nonzero entry.
+		p := -1
+		for r := i; r < l.m; r++ {
+			if t.rows[r][v].Sign() != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("revsearch: basis column %d is dependent", v)
+		}
+		t.rows[i], t.rows[p] = t.rows[p], t.rows[i]
+		t.scaleEliminate(i, v)
+		t.rowOf[v] = i
+	}
+	t.pivots += int64(l.m)
+	return t, nil
+}
+
+// scaleEliminate normalizes row r's entry in column c to one and clears
+// column c everywhere else.
+func (t *tableau) scaleEliminate(r, c int) {
+	n := t.lp.n
+	piv := t.rows[r][c]
+	if piv.Cmp(ratOne) != 0 {
+		inv := newRat().Inv(piv)
+		for j := 0; j <= n; j++ {
+			if t.rows[r][j].Sign() != 0 {
+				t.rows[r][j].Mul(t.rows[r][j], inv)
+			}
+		}
+	}
+	var tmp big.Rat
+	for i := 0; i < t.lp.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][c]
+		if f.Sign() == 0 {
+			continue
+		}
+		fc := newRat().Set(f)
+		for j := 0; j <= n; j++ {
+			if t.rows[r][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(fc, t.rows[r][j])
+			t.rows[i][j].Sub(t.rows[i][j], &tmp)
+		}
+	}
+}
+
+var ratOne = big.NewRat(1, 1)
+
+// pivot makes cobasic variable s basic in row r (whose current basic
+// variable leaves). The inverse of pivot(r, s) is pivot(r, w) with w the
+// variable that was basic in row r before the call.
+func (t *tableau) pivot(r, s int) {
+	w := t.basisOf[r]
+	t.scaleEliminate(r, s)
+	t.basisOf[r] = s
+	t.rowOf[w] = -1
+	t.rowOf[s] = r
+	t.pivots++
+}
+
+// lexSignRow returns the sign of row r's perturbed value: the first
+// nonzero of (bbar_r, T[r][lexCols[0]], ..., T[r][lexCols[m-1]]), or 0
+// when the whole tuple vanishes (impossible for an invertible basis).
+func (t *tableau) lexSignRow(r int) int {
+	n := t.lp.n
+	if s := t.rows[r][n].Sign(); s != 0 {
+		return s
+	}
+	for _, c := range t.lp.lexCols {
+		if s := t.rows[r][c].Sign(); s != 0 {
+			return s
+		}
+	}
+	return 0
+}
+
+// lexFeasible reports whether every row is lexicographically positive —
+// the basis is a vertex of the primal-perturbed polytope.
+func (t *tableau) lexFeasible() bool {
+	for r := 0; r < t.lp.m; r++ {
+		if t.lexSignRow(r) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reducedSign returns the sign of cobasic variable s's reduced cost
+// under the symbolic objective c(delta) = (delta, delta^2, ...,
+// delta^n): scanning variables k in ascending order, the coefficient of
+// delta^(k+1) is +1 at k == s and -T[rowOf[k]][s] for basic k, so the
+// first nonzero decides. The scan always terminates at k == s at the
+// latest, hence no reduced cost is ever zero (dual nondegeneracy: the
+// optimal basis — the reverse-search root — is unique).
+func (t *tableau) reducedSign(s int) int {
+	for k := 0; k < t.lp.n; k++ {
+		if k == s {
+			return 1
+		}
+		if r := t.rowOf[k]; r >= 0 {
+			if sg := t.rows[r][s].Sign(); sg != 0 {
+				return -sg
+			}
+		}
+	}
+	return 1 // unreachable: k == s is hit inside the loop
+}
+
+// lexRatioLess reports whether row a's perturbed ratio against entering
+// column s is lexicographically smaller than row b's:
+// tuple(a)/T[a][s] < tuple(b)/T[b][s], both denominators positive.
+func (t *tableau) lexRatioLess(a, b, s int) bool {
+	n := t.lp.n
+	da, db := t.rows[a][s], t.rows[b][s]
+	var x, y big.Rat
+	cmp := func(ca, cb *big.Rat) int {
+		// ca/da vs cb/db with da, db > 0: compare ca*db vs cb*da.
+		x.Mul(ca, db)
+		y.Mul(cb, da)
+		return x.Cmp(&y)
+	}
+	if c := cmp(t.rows[a][n], t.rows[b][n]); c != 0 {
+		return c < 0
+	}
+	for _, col := range t.lp.lexCols {
+		if c := cmp(t.rows[a][col], t.rows[b][col]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// lexMinRatioRow returns the unique lexicographic minimum-ratio row for
+// entering column s — the forward leaving row — or -1 when no row has a
+// positive entry in s.
+func (t *tableau) lexMinRatioRow(s int) int {
+	r := -1
+	for i := 0; i < t.lp.m; i++ {
+		if t.rows[i][s].Sign() <= 0 {
+			continue
+		}
+		if r < 0 || t.lexRatioLess(i, r, s) {
+			r = i
+		}
+	}
+	return r
+}
+
+// childEntrySign returns the sign the entry (i, j) would have after
+// pivot(r, l), computed from the parent dictionary without pivoting:
+// T'[i][j] = T[i][j] - T[i][l]*T[r][j]/p with p = T[r][l] > 0, so the
+// sign equals sign(p*T[i][j] - T[i][l]*T[r][j]). Requires i != r.
+func (t *tableau) childEntrySign(i, j, r, l int) int {
+	til := t.rows[i][l]
+	trj := t.rows[r][j]
+	if til.Sign() == 0 || trj.Sign() == 0 {
+		return t.rows[i][j].Sign()
+	}
+	tij := t.rows[i][j]
+	if tij.Sign() == 0 {
+		return -til.Sign() * trj.Sign()
+	}
+	var x, y big.Rat
+	x.Mul(t.rows[r][l], tij)
+	y.Mul(til, trj)
+	return x.Cmp(&y)
+}
+
+// childReducedSign returns reducedSign(j) as it would read in the child
+// dictionary produced by pivot(r, l), evaluated lazily from the parent
+// entries — the reverse-search child test runs it for candidates that
+// are mostly rejected, and skipping the trial pivot (O(m*n) exact
+// multiplications) for those is the dominant saving of the traversal.
+// j must be cobasic in the child (cobasic here and != l) and j < the
+// variable currently basic in row r, so the ascending scan never
+// reaches that variable and every basic k it meets has rowOf[k] != r.
+func (t *tableau) childReducedSign(j, r, l int) int {
+	for k := 0; k < t.lp.n; k++ {
+		if k == j {
+			return 1
+		}
+		if k == l {
+			// Basic in the child at row r: T'[r][j] = T[r][j]/p.
+			if sg := t.rows[r][j].Sign(); sg != 0 {
+				return -sg
+			}
+			continue
+		}
+		if i := t.rowOf[k]; i >= 0 {
+			if sg := t.childEntrySign(i, j, r, l); sg != 0 {
+				return -sg
+			}
+		}
+	}
+	return 1 // unreachable: k == j is hit inside the loop
+}
+
+// selectPivot is the deterministic forward simplex rule the reverse
+// search inverts: entering variable s = the least-index cobasic with a
+// positive reduced cost, leaving row r = the unique lexicographic
+// minimum ratio among rows with T[r][s] > 0. It returns ok=false at the
+// optimal dictionary (the root). An entering column with no positive
+// entry cannot occur: P lies inside the standard simplex, so the LP is
+// bounded.
+func (t *tableau) selectPivot() (s, r int, ok bool, err error) {
+	s = -1
+	for j := 0; j < t.lp.n; j++ {
+		if t.rowOf[j] >= 0 {
+			continue
+		}
+		if t.reducedSign(j) > 0 {
+			s = j
+			break
+		}
+	}
+	if s < 0 {
+		return 0, 0, false, nil
+	}
+	r = t.lexMinRatioRow(s)
+	if r < 0 {
+		return 0, 0, false, fmt.Errorf("revsearch: entering column %d is unbounded (the polytope should be bounded)", s)
+	}
+	return s, r, true, nil
+}
+
+// basis returns the basic variable set in ascending order.
+func (t *tableau) basis() []int {
+	out := make([]int, 0, t.lp.m)
+	for v := 0; v < t.lp.n; v++ {
+		if t.rowOf[v] >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// supportWords packs the support of the vertex this dictionary
+// represents — the basic variables with a strictly positive
+// (unperturbed) value — into bitset words over the n variables.
+// Degenerate basic variables sit at zero and are excluded, so every
+// dictionary of one vertex emits the identical support.
+func (t *tableau) supportWords(dst []uint64) []uint64 {
+	words := (t.lp.n + 63) / 64
+	if cap(dst) < words {
+		dst = make([]uint64, words)
+	} else {
+		dst = dst[:words]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	n := t.lp.n
+	for r := 0; r < t.lp.m; r++ {
+		if t.rows[r][n].Sign() > 0 {
+			v := t.basisOf[r]
+			dst[v/64] |= 1 << uint(v%64)
+		}
+	}
+	return dst
+}
+
+// clone deep-copies the dictionary (fuzz and test helper).
+func (t *tableau) clone() *tableau {
+	c := &tableau{
+		lp:      t.lp,
+		rows:    make([][]*big.Rat, len(t.rows)),
+		basisOf: append([]int(nil), t.basisOf...),
+		rowOf:   append([]int(nil), t.rowOf...),
+	}
+	for i, row := range t.rows {
+		nr := make([]*big.Rat, len(row))
+		for j, v := range row {
+			nr[j] = newRat().Set(v)
+		}
+		c.rows[i] = nr
+	}
+	return c
+}
+
+// equal compares two dictionaries entry-wise including the row/variable
+// association (fuzz and test helper).
+func (t *tableau) equal(o *tableau) bool {
+	if len(t.rows) != len(o.rows) {
+		return false
+	}
+	for i := range t.basisOf {
+		if t.basisOf[i] != o.basisOf[i] {
+			return false
+		}
+	}
+	for i, row := range t.rows {
+		for j, v := range row {
+			if v.Cmp(o.rows[i][j]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// memEstimate approximates the dictionary's resident bytes: big.Rat
+// header plus numerator/denominator limbs per entry.
+func (t *tableau) memEstimate() int64 {
+	var bits int64
+	for _, row := range t.rows {
+		for _, v := range row {
+			bits += int64(v.Num().BitLen() + v.Denom().BitLen())
+		}
+	}
+	entries := int64(len(t.rows)) * int64(t.lp.n+1)
+	return bits/8 + entries*48
+}

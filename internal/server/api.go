@@ -17,6 +17,12 @@ import (
 // RunOptions is the JSON mirror of elmocomp.Config. Zero values mean
 // the library defaults; the field vocabulary matches the efmcalc flags.
 type RunOptions struct {
+	// Backend picks the enumeration family: "nullspace" (default, the
+	// double-description drivers selected by Algorithm) or "revsearch"
+	// (lexicographic reverse search). Result-neutral — both compute the
+	// identical canonical mode set — so it is not part of the request
+	// key and a cached result serves either backend.
+	Backend        string   `json:"backend,omitempty"`   // nullspace | revsearch
 	Algorithm      string   `json:"algorithm,omitempty"` // serial | parallel | dnc
 	Nodes          int      `json:"nodes,omitempty"`
 	Workers        int      `json:"workers,omitempty"`
@@ -54,6 +60,14 @@ func (o RunOptions) Config() (elmocomp.Config, error) {
 		Tolerance:              o.Tolerance,
 		CommTimeout:            time.Duration(o.CommTimeoutSeconds * float64(time.Second)),
 		MemBudgetBytes:         o.MemBudgetBytes,
+	}
+	switch strings.ToLower(o.Backend) {
+	case "", "nullspace":
+		cfg.Backend = elmocomp.NullspaceBackend
+	case "revsearch":
+		cfg.Backend = elmocomp.ReverseSearchBackend
+	default:
+		return cfg, fmt.Errorf("unknown backend %q (nullspace | revsearch)", o.Backend)
 	}
 	switch strings.ToLower(o.Algorithm) {
 	case "", "serial":
@@ -148,6 +162,13 @@ type RunSummary struct {
 	StoreSpillBytes    int64 `json:"store_spill_bytes,omitempty"`
 	StorePeakHeldBytes int64 `json:"store_peak_held_bytes,omitempty"`
 	MemResplits        int   `json:"mem_resplits,omitempty"`
+	// Reverse-search traversal counters, set only by the revsearch
+	// backend (bases visited, exact pivots, restartable subtree jobs,
+	// deepest dictionary — the memory high-water mark is O(depth)).
+	RevsearchBases    int64 `json:"revsearch_bases,omitempty"`
+	RevsearchPivots   int64 `json:"revsearch_pivots,omitempty"`
+	RevsearchJobs     int64 `json:"revsearch_jobs,omitempty"`
+	RevsearchMaxDepth int   `json:"revsearch_max_depth,omitempty"`
 }
 
 // Summarize builds the shared summary from a finished run.
@@ -176,6 +197,12 @@ func Summarize(net *elmocomp.Network, res *elmocomp.Result, elapsed time.Duratio
 		s.StorePeakHeldBytes = res.Store.PeakHeldBytes
 	}
 	s.MemResplits = res.MemResplits
+	if rs := res.RevSearch; rs != nil {
+		s.RevsearchBases = rs.Bases
+		s.RevsearchPivots = rs.Pivots
+		s.RevsearchJobs = rs.Jobs
+		s.RevsearchMaxDepth = rs.MaxDepth
+	}
 	return s
 }
 

@@ -203,3 +203,17 @@ func (r *SchedRecorder) Snapshot() *SchedStats {
 	out.Classes = append([]SchedClass(nil), r.s.Classes...)
 	return &out
 }
+
+// Reset clears every counter and the class list, returning the recorder
+// to its NewSchedRecorder state. The scheduler allocates a fresh
+// recorder per run, so per-run stats can never bleed into each other
+// through the normal path — Reset exists for callers that hold a
+// recorder across repetitions (benchmark harnesses re-running one
+// scheduler instance) and must not report first-run counters inflated
+// into later rows.
+func (r *SchedRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s = SchedStats{}
+	r.active = 0
+}

@@ -1,9 +1,12 @@
 package synth
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"elmocomp"
 	"elmocomp/internal/dnc"
@@ -16,6 +19,20 @@ import (
 //
 //	go test ./internal/synth/ -run Differential -synthseed 1234
 var synthSeed = flag.Int64("synthseed", 0, "seed offset for the differential property harness")
+
+// synthBackends selects the enumeration families the cross-family
+// harness exercises; with fewer than two the cross-check is vacuous and
+// the test skips itself.
+//
+//	go test ./internal/synth/ -run DifferentialCrossFamily -backends nullspace,revsearch
+var synthBackends = flag.String("backends", "nullspace,revsearch", "comma-separated enumeration families for the cross-family harness")
+
+// heavyGrid opts the reversible-heavy grid point into the cross-family
+// sweep. Its split cone is so degenerate that reverse search visits
+// ~2500 lex-positive bases per vertex (about 2M dictionaries) — minutes
+// of exact pivoting that get a dedicated non-race CI job rather than a
+// seat in the race lane.
+var heavyGrid = flag.Bool("heavygrid", false, "include the degenerate reversible-heavy point in the cross-family sweep")
 
 // differentialPoint is one cell of the size/reversibility grid.
 type differentialPoint struct {
@@ -139,6 +156,153 @@ func TestDifferentialSpillBudget(t *testing.T) {
 	}
 	if budgeted.Store.Spills == 0 {
 		t.Fatalf("1-byte budget never spilled: %+v", budgeted.Store)
+	}
+}
+
+// crossFamilyGrid is the cross-family sweep: the full differential grid
+// plus pointed and degenerate corner cases — an irreversible-only
+// network (pointed cone, no splitting at all), a single-chain network
+// (one mode, maximally reduced), and a fully reversible one (every
+// column split, futile-pair folding on both sides).
+func crossFamilyGrid() []differentialPoint {
+	return append(append([]differentialPoint(nil), differentialGrid...),
+		differentialPoint{layers: 3, width: 3, cross: 0, revFrac: 0}, // pointed, no cross links
+		differentialPoint{layers: 4, width: 1, cross: 0, revFrac: 0}, // single chain
+		differentialPoint{layers: 2, width: 2, cross: 2, revFrac: 1}, // fully reversible
+	)
+}
+
+// TestDifferentialCrossFamily is the cross-FAMILY oracle: lexicographic
+// reverse search shares no code path with the double-description
+// drivers past the input reduction, so identical fingerprints across
+// the grid rule out whole-family algorithmic bugs that the
+// cross-driver harness above cannot see. The dnc scheduler lane runs
+// once unbudgeted and once with a 1-byte memory budget (forcing
+// compression, spill and memory re-splits), and both must land on the
+// reverse-search fingerprint.
+func TestDifferentialCrossFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness runs full driver sweeps; skipped with -short")
+	}
+	families := map[string]bool{}
+	for _, f := range strings.Split(*synthBackends, ",") {
+		families[strings.TrimSpace(f)] = true
+	}
+	for f := range families {
+		if f != "nullspace" && f != "revsearch" {
+			t.Fatalf("-backends: unknown family %q (nullspace | revsearch)", f)
+		}
+	}
+	if !families["nullspace"] || !families["revsearch"] {
+		t.Skipf("-backends=%s selects fewer than two families; nothing to cross-check", *synthBackends)
+	}
+	for gi, pt := range crossFamilyGrid() {
+		pt := pt
+		seed := *synthSeed + int64(gi)
+		name := fmt.Sprintf("l%dw%dx%d_rev%.0f_seed%d", pt.layers, pt.width, pt.cross, pt.revFrac*100, seed)
+		t.Run(name, func(t *testing.T) {
+			if pt.revFrac >= 0.8 && pt.layers >= 4 && !*heavyGrid {
+				t.Skip("degenerate reversible-heavy point; run with -heavygrid (dedicated CI job)")
+			}
+			n, err := Network(Params{
+				Layers: pt.layers, Width: pt.width, CrossLinks: pt.cross,
+				ReversibleFraction: pt.revFrac, MaxCoef: 2, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := elmocomp.ParseNetworkString(n.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := elmocomp.ComputeEFMs(net, elmocomp.Config{Backend: elmocomp.ReverseSearchBackend, Workers: 1})
+			if err != nil {
+				t.Fatalf("revsearch/workers=1: %v", err)
+			}
+			if base.Len() == 0 {
+				t.Fatal("degenerate grid point: no EFMs at all")
+			}
+			lanes := []variant{
+				{name: "revsearch/workers=4", cfg: elmocomp.Config{Backend: elmocomp.ReverseSearchBackend, Workers: 4}},
+				{name: "nullspace/serial", cfg: elmocomp.Config{Workers: 1}},
+			}
+			if qsub := dncQsub(t, n); qsub > 0 {
+				lanes = append(lanes,
+					variant{name: "nullspace/dnc-sched/groups=2", cfg: elmocomp.Config{
+						Algorithm: elmocomp.DivideAndConquer, Workers: 1, GroupConcurrency: 2, Qsub: qsub}},
+					variant{name: "nullspace/dnc-sched/groups=2/membudget=1", cfg: elmocomp.Config{
+						Algorithm: elmocomp.DivideAndConquer, Workers: 1, GroupConcurrency: 2, Qsub: qsub,
+						MemBudgetBytes: 1, SpillDir: t.TempDir()}},
+				)
+			} else {
+				t.Log("dnc lanes skipped (network too small to partition)")
+			}
+			for _, v := range lanes {
+				res, err := elmocomp.ComputeEFMs(net, v.cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if res.Len() != base.Len() || res.Fingerprint() != base.Fingerprint() {
+					t.Errorf("%s: %d EFMs fp %016x, revsearch/workers=1 found %d fp %016x",
+						v.name, res.Len(), res.Fingerprint(), base.Len(), base.Fingerprint())
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCrossFamilyCancel aborts both families mid-run on one
+// mid-size grid point. The pre-closed channel pins the deterministic
+// path (cancellation observed at the first poll); the timed channel
+// exercises a genuinely mid-enumeration abort, where either a canceled
+// error or — if the run won the race — a fingerprint-identical result
+// is acceptable.
+func TestDifferentialCrossFamilyCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness runs full driver sweeps; skipped with -short")
+	}
+	pt := differentialGrid[2]
+	n, err := Network(Params{
+		Layers: pt.layers, Width: pt.width, CrossLinks: pt.cross,
+		ReversibleFraction: pt.revFrac, MaxCoef: 2, Seed: *synthSeed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := elmocomp.ParseNetworkString(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := elmocomp.ComputeEFMs(net, elmocomp.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []variant{
+		{name: "revsearch", cfg: elmocomp.Config{Backend: elmocomp.ReverseSearchBackend, Workers: 2}},
+		{name: "dnc-sched", cfg: elmocomp.Config{Algorithm: elmocomp.DivideAndConquer, Workers: 1,
+			GroupConcurrency: 2, Qsub: dncQsub(t, n)}},
+	}
+	for _, v := range cfgs {
+		pre := make(chan struct{})
+		close(pre)
+		if _, err := elmocomp.ComputeEFMsCancel(net, v.cfg, pre); !errors.Is(err, elmocomp.ErrCanceled) {
+			t.Errorf("%s pre-closed cancel: err = %v, want ErrCanceled", v.name, err)
+		}
+		timed := make(chan struct{})
+		go func() {
+			time.Sleep(500 * time.Microsecond)
+			close(timed)
+		}()
+		res, err := elmocomp.ComputeEFMsCancel(net, v.cfg, timed)
+		switch {
+		case err == nil:
+			if res.Fingerprint() != base.Fingerprint() {
+				t.Errorf("%s finished under cancel with wrong fingerprint %016x, want %016x",
+					v.name, res.Fingerprint(), base.Fingerprint())
+			}
+		case !errors.Is(err, elmocomp.ErrCanceled):
+			t.Errorf("%s timed cancel: err = %v, want ErrCanceled or success", v.name, err)
+		}
 	}
 }
 

@@ -106,6 +106,14 @@ func (n *Network) Canonical() string { return n.inner.String() }
 // enumerates the full set) and Algorithm, Qsub and Partition are
 // likewise normalized away; with a budget set they shape which classes
 // go unresolved, so they are part of the identity.
+//
+// Backend is normalized away unconditionally: the reverse-search
+// backend rejects MaxIntermediateModes (it has no intermediate matrices
+// to budget), so every revsearch run is exhaustive and its canonical
+// mode set is bitwise identical to the double-description result — the
+// cross-family differential harness makes that fingerprint equality a
+// CI invariant. A cached double-description result therefore serves a
+// revsearch request and vice versa.
 func RequestKey(n *Network, cfg Config) string {
 	h := sha256.New()
 	io.WriteString(h, "elmocomp/request-key/v1\n")
