@@ -42,6 +42,7 @@ type benchConfig struct {
 	distJSONPath     string
 	distwireJSONPath string
 	backendsJSONPath string
+	ondemandJSONPath string
 }
 
 type experiment struct {
@@ -66,6 +67,7 @@ var experiments = []experiment{
 	{"dist", "coordinator/worker class sharding over loopback TCP across fleet sizes (writes BENCH_dist.json)", expDist},
 	{"distwire", "distributed data plane: protocol-1 JSON vs protocol-2 binary/interned/compressed links (writes BENCH_distwire.json)", expDistwire},
 	{"backends", "double-description vs reverse-search enumeration families, fingerprint-gated (writes BENCH_backends.json)", expBackends},
+	{"ondemand", "interactive tier: first-mode latency and modes/sec vs full-enumeration wall, fingerprint-gated on the exhaustive rows (writes BENCH_ondemand.json)", expOndemand},
 }
 
 func main() {
@@ -82,6 +84,7 @@ func main() {
 		distJSON     = flag.String("dist-json", "BENCH_dist.json", "machine-readable output file for the dist experiment")
 		distwireJSON = flag.String("distwire-json", "BENCH_distwire.json", "machine-readable output file for the distwire experiment")
 		backendsJSON = flag.String("backends-json", "BENCH_backends.json", "machine-readable output file for the backends experiment")
+		ondemandJSON = flag.String("ondemand-json", "BENCH_ondemand.json", "machine-readable output file for the ondemand experiment")
 		groups      = flag.String("groups", "1,2,4", "group counts for the dnc-sched experiment")
 		budget      = flag.Int("budget", 150000, "intermediate-mode budget for the Table IV simulation")
 		commTO      = flag.Duration("comm-timeout", 0, "abort a run when an inter-node collective stalls longer than this (0 = no deadline)")
@@ -104,7 +107,7 @@ func main() {
 	cfg := benchConfig{full: *full, budget: *budget, commTimeout: *commTO, verbose: *verbose,
 		jsonPath: *jsonOut, hybridJSONPath: *hybridJSON, dncJSONPath: *dncJSON,
 		memwallJSONPath: *memwallJSON, distJSONPath: *distJSON, distwireJSONPath: *distwireJSON,
-		backendsJSONPath: *backendsJSON}
+		backendsJSONPath: *backendsJSON, ondemandJSONPath: *ondemandJSON}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elmocomp"
+	"elmocomp/internal/stats"
+)
+
+// ondemandEntry is one (network, k) row of the interactive-tier
+// experiment. The exhaustive rows (K == 0) are fingerprint-gated
+// against the double-description reference; every row records the
+// latency to the first verified mode and the sustained emission rate,
+// the two numbers the interactive tier exists to optimize.
+type ondemandEntry struct {
+	Network          string  `json:"network"`
+	K                int     `json:"k"` // 0 = run to exhaustion
+	EFMs             int     `json:"efms"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	FirstModeSeconds float64 `json:"first_mode_seconds"`
+	ModesPerSec      float64 `json:"modes_per_sec"`
+	// FullWallSeconds is the exhaustive on-demand wall for the same
+	// network — the "wait for everything" cost a bounded request avoids.
+	FullWallSeconds     float64 `json:"full_wall_seconds"`
+	FirstModeFracOfFull float64 `json:"first_mode_frac_of_full"`
+	// BatchWallSeconds is the double-description wall on the same
+	// network, for scale: the batch tier has no first-result latency
+	// short of its full wall.
+	BatchWallSeconds float64 `json:"batch_wall_seconds"`
+	Bases            int64   `json:"bases"`
+	LPPivots         int64   `json:"lp_pivots"`
+	Fingerprint      string  `json:"fingerprint,omitempty"` // exhaustive rows only
+}
+
+type ondemandReport struct {
+	Benchmark  string          `json:"benchmark"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []ondemandEntry `json:"results"`
+}
+
+// expOndemand measures the interactive tier on the synth ladder and the
+// yeast1 sub-model: for each network, the double-description batch wall
+// (reference fingerprint), one exhaustive on-demand run (fingerprint
+// must match — the k=∞ differential gate), and one bounded k=3 run (the
+// interactive request shape). Two gates fail the experiment: an
+// exhaustive-row fingerprint divergence, and a yeast1-sub first-mode
+// latency at or above 10% of the full-enumeration wall — the tier's
+// reason to exist is first results long before the full set.
+func expOndemand(cfg benchConfig) error {
+	type workload struct {
+		name string
+		load func() (*elmocomp.Network, error)
+	}
+	loads := []workload{
+		{"toy", func() (*elmocomp.Network, error) { return elmocomp.Builtin("toy") }},
+		{"synth-pointed", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 3, 3, 0, 9)
+		}},
+		{"synth-mixed", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 3, 3, 0.5, 9)
+		}},
+		{"synth-reversible", func() (*elmocomp.Network, error) {
+			return synthNetwork(3, 2, 3, 1, 10)
+		}},
+		// Always included: the acceptance row. The sub-model's perturbed
+		// polytope is massively degenerate, so exhausting the basis graph
+		// dominates this experiment's wall (~1 CPU-minute of exact
+		// pivoting) — which is exactly the contrast being measured.
+		{"yeast1-sub", backendsYeastSub},
+	}
+	const interactiveK = 3
+	report := ondemandReport{Benchmark: "ondemand", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	tb := stats.NewTable("interactive tier: first-mode latency vs full-enumeration wall",
+		"network", "k", "EFMs", "wall (s)", "first mode (s)", "modes/s", "first/full", "bases", "fingerprint")
+	for _, wl := range loads {
+		net, err := wl.load()
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		start := time.Now()
+		ref, err := elmocomp.ComputeEFMs(net, elmocomp.Config{Progress: progress(cfg)})
+		if err != nil {
+			return fmt.Errorf("%s/nullspace: %w", wl.name, err)
+		}
+		batchWall := time.Since(start).Seconds()
+
+		var fullWall float64
+		for _, k := range []int{0, interactiveK} {
+			start = time.Now()
+			res, err := elmocomp.ComputeEFMs(net, elmocomp.Config{
+				Backend:  elmocomp.OnDemandBackend,
+				MaxModes: k,
+				Progress: progress(cfg),
+			})
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("%s/ondemand k=%d: %w", wl.name, k, err)
+			}
+			od := res.OnDemand
+			if k == 0 {
+				if res.Fingerprint() != ref.Fingerprint() {
+					return fmt.Errorf("%s: exhaustive on-demand fingerprint %016x differs from double description %016x — cross-family invariant broken",
+						wl.name, res.Fingerprint(), ref.Fingerprint())
+				}
+				if !od.Exhausted {
+					return fmt.Errorf("%s: unbounded run did not exhaust the basis graph", wl.name)
+				}
+				fullWall = wall
+			}
+			entry := ondemandEntry{
+				Network:          wl.name,
+				K:                k,
+				EFMs:             res.Len(),
+				WallSeconds:      wall,
+				FirstModeSeconds: od.FirstModeSeconds,
+				FullWallSeconds:  fullWall,
+				BatchWallSeconds: batchWall,
+				Bases:            od.Bases,
+				LPPivots:         od.LPPivots,
+			}
+			if wall > 0 {
+				entry.ModesPerSec = float64(res.Len()) / wall
+			}
+			if fullWall > 0 {
+				entry.FirstModeFracOfFull = od.FirstModeSeconds / fullWall
+			}
+			kLabel := "inf"
+			fp := ""
+			if k == 0 {
+				entry.Fingerprint = fmt.Sprintf("%016x", res.Fingerprint())
+				fp = entry.Fingerprint
+			} else {
+				kLabel = fmt.Sprintf("%d", k)
+			}
+			if wl.name == "yeast1-sub" && entry.FirstModeFracOfFull >= 0.1 {
+				return fmt.Errorf("%s: first-mode latency %.3fs is %.1f%% of the %.1fs full-enumeration wall — interactive tier must deliver under 10%%",
+					wl.name, od.FirstModeSeconds, 100*entry.FirstModeFracOfFull, fullWall)
+			}
+			report.Results = append(report.Results, entry)
+			tb.AddRow(wl.name, kLabel, stats.Count(int64(entry.EFMs)), stats.Seconds(wall),
+				fmt.Sprintf("%.4f", od.FirstModeSeconds), fmt.Sprintf("%.1f", entry.ModesPerSec),
+				fmt.Sprintf("%.4f", entry.FirstModeFracOfFull), stats.Count(od.Bases), fp)
+		}
+	}
+	tb.AddNote("first/full: first-verified-mode latency over the exhaustive on-demand wall of the same network")
+	tb.AddNote("exhaustive (k=inf) rows are fingerprint-gated against the double-description reference")
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.ondemandJSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.ondemandJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.ondemandJSONPath)
+	}
+	return nil
+}

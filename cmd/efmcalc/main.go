@@ -28,7 +28,7 @@ func main() {
 	var (
 		modelName = flag.String("model", "", "built-in network: "+strings.Join(elmocomp.BuiltinNames(), ", "))
 		file      = flag.String("file", "", "network file in reaction-equation format")
-		backend   = flag.String("backend", "nullspace", "enumeration family: nullspace (double description) | revsearch (lexicographic reverse search)")
+		backend   = flag.String("backend", "nullspace", "enumeration family: nullspace (double description) | revsearch (lexicographic reverse search) | ondemand (ranked streaming)")
 		algorithm = flag.String("algorithm", "serial", "serial | parallel | dnc (nullspace backend only)")
 		nodes     = flag.Int("nodes", 1, "simulated compute nodes (parallel, dnc)")
 		workers   = flag.Int("workers", 0, "shared-memory workers per engine/node (0 = all cores)")
@@ -42,6 +42,8 @@ func main() {
 		commTO    = flag.Duration("comm-timeout", 0, "abort the run when an inter-node collective stalls longer than this (0 = no deadline)")
 		keepDup   = flag.Bool("keep-duplicates", false, "do not merge duplicate reactions during reduction")
 		maxModes  = flag.Int("max-modes", 0, "abort/re-split when an intermediate matrix exceeds this many columns")
+		kModes    = flag.Int("k", 0, "ondemand: stop after the first k ranked modes (0 = run to exhaustion)")
+		objective = flag.String("objective", "", "ondemand: ranking objective as reaction=weight pairs with exact rationals, e.g. \"R1=1,R2=-1/2\"")
 		memBudget = flag.String("mem-budget", "", "resident-byte budget per engine, e.g. 64M or 2G; over budget, surviving modes are compressed then spilled to disk (dnc re-splits first)")
 		spillDir  = flag.String("spill-dir", "", "directory for mode-store spill files (default: the OS temp dir)")
 		out       = flag.String("out", "", "write EFM supports to this file (default: count only)")
@@ -95,8 +97,28 @@ func main() {
 		cfg.Backend = elmocomp.NullspaceBackend
 	case "revsearch":
 		cfg.Backend = elmocomp.ReverseSearchBackend
+	case "ondemand":
+		cfg.Backend = elmocomp.OnDemandBackend
+		cfg.MaxModes = *kModes
+		if *objective != "" {
+			obj, err := parseObjective(*objective)
+			if err != nil {
+				fatal(fmt.Errorf("-objective: %w", err))
+			}
+			cfg.Objective = obj
+		}
+		if !*jsonOut {
+			// Interactive tier: print each mode the moment it is emitted,
+			// long before the run summary.
+			cfg.OnMode = func(e elmocomp.ModeEvent) {
+				fmt.Printf("mode %d (value %s): %s\n", e.Rank, e.Value, strings.Join(e.Support, " "))
+			}
+		}
 	default:
-		fatal(fmt.Errorf("unknown -backend %q (nullspace | revsearch)", *backend))
+		fatal(fmt.Errorf("unknown -backend %q (nullspace | revsearch | ondemand)", *backend))
+	}
+	if cfg.Backend != elmocomp.OnDemandBackend && (*kModes != 0 || *objective != "") {
+		fatal(fmt.Errorf("-k and -objective require -backend ondemand"))
 	}
 	switch *algorithm {
 	case "serial":
@@ -148,6 +170,15 @@ func main() {
 			fmt.Printf("reverse search: %s bases in %d subtree jobs, %s pivots, max depth %d\n",
 				stats.Count(rs.Bases), rs.Jobs, stats.Count(rs.Pivots), rs.MaxDepth)
 		}
+		if od := res.OnDemand; od != nil {
+			state := "stopped at k"
+			if od.Exhausted {
+				state = "exhausted"
+			}
+			fmt.Printf("on-demand stream: %d modes (%s), first after %.3fs, %s bases, %s pivots (%s phase 1)\n",
+				od.Emitted, state, od.FirstModeSeconds,
+				stats.Count(od.Bases), stats.Count(od.LPPivots), stats.Count(od.Phase1Pivots))
+		}
 		fmt.Printf("peak per-node mode matrix: %s\n", stats.Bytes(res.PeakNodeBytes))
 		if res.Scheduler != nil {
 			fmt.Printf("peak concurrent mode matrices: %s across %d groups\n",
@@ -192,6 +223,20 @@ func main() {
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// parseObjective turns "R1=1,R2=-1/2" into the Config.Objective map.
+// Weight syntax is validated by the library (exact big.Rat strings).
+func parseObjective(s string) (map[string]string, error) {
+	obj := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || weight == "" {
+			return nil, fmt.Errorf("bad pair %q (want reaction=weight)", pair)
+		}
+		obj[name] = weight
+	}
+	return obj, nil
 }
 
 func loadNetwork(modelName, file string) (*elmocomp.Network, error) {

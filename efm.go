@@ -37,6 +37,7 @@ import (
 	"elmocomp/internal/dnc"
 	"elmocomp/internal/model"
 	"elmocomp/internal/nullspace"
+	"elmocomp/internal/ondemand"
 	"elmocomp/internal/parallel"
 	"elmocomp/internal/reduce"
 	"elmocomp/internal/revsearch"
@@ -157,6 +158,18 @@ const (
 	// intermediate mode matrices to budget — every run is exhaustive,
 	// which is what keeps the backend result-neutral).
 	ReverseSearchBackend
+	// OnDemandBackend is the interactive tier: exact-rational ranked
+	// generation (package ondemand) streaming modes one at a time in
+	// nondecreasing Config.Objective order, stopping after
+	// Config.MaxModes modes. First-result latency is one LP solve, not
+	// a full enumeration. Run to exhaustion (MaxModes == 0) the emitted
+	// set is fingerprint-identical to the batch backends — CI-enforced
+	// on the differential grid — but a k-limited run's RESULT depends
+	// on k and the objective, which is why those two fields (alone
+	// among streaming options) enter RequestKey. The nullspace driver
+	// options are ignored like under ReverseSearchBackend;
+	// MaxIntermediateModes is likewise rejected.
+	OnDemandBackend
 )
 
 // ElementarityTest selects the candidate test of the core engine.
@@ -250,6 +263,26 @@ type Config struct {
 	// re-splitting (DivideAndConquer) when an intermediate mode matrix
 	// exceeds this column count. 0 means unlimited.
 	MaxIntermediateModes int
+	// MaxModes stops an OnDemandBackend stream after this many emitted
+	// modes; 0 enumerates to exhaustion. Unlike the execution-shape
+	// options, MaxModes shapes the RESULT (a k-limited run returns the
+	// k best modes, not the full set), so it is part of RequestKey.
+	// Rejected by the batch backends.
+	MaxModes int
+	// Objective assigns exact-rational ranking weights to reduced
+	// reactions by name (values parsed as big.Rat strings, e.g. "1",
+	// "-1/2"): OnDemandBackend streams modes in nondecreasing order of
+	// the weighted normalized flux sum. Unlisted reactions weigh zero;
+	// a nil map streams in a deterministic unranked order. With
+	// MaxModes > 0 the objective selects WHICH modes are returned, so
+	// it enters RequestKey alongside k. Rejected by the batch backends.
+	Objective map[string]string
+	// OnMode, when set, receives every streamed mode the moment the
+	// on-demand generator emits it, before the run completes — the hook
+	// the job service uses to forward modes onto its event channel.
+	// Called synchronously from the enumeration goroutine.
+	// OnDemandBackend only; rejected by the batch backends.
+	OnMode func(ModeEvent)
 	// MemBudgetBytes bounds the resident bytes each engine keeps between
 	// iteration rounds: surviving mode sets too large for the budget are
 	// held delta-compressed in RAM, or spilled to a temp file when even
@@ -428,6 +461,49 @@ type Result struct {
 	// RevSearch holds the reverse-search backend's counters
 	// (Config.Backend == ReverseSearchBackend only; nil otherwise).
 	RevSearch *RevSearchStats
+	// OnDemand holds the on-demand backend's counters (Config.Backend
+	// == OnDemandBackend only; nil otherwise). When set, the Result's
+	// supports are in EMISSION (rank) order, not canonical order.
+	OnDemand *OnDemandStats
+}
+
+// ModeEvent is one streamed elementary flux mode, delivered through
+// Config.OnMode as it is found.
+type ModeEvent struct {
+	// Rank is the 1-based position in the ranked stream.
+	Rank int
+	// Support lists the reduced reaction names carrying flux, sorted.
+	Support []string
+	// Value is the exact objective value of the mode's normalized
+	// vertex, as a rational string ("-3/20"); "0" under a nil
+	// objective.
+	Value string
+}
+
+// OnDemandStats summarizes an on-demand backend run.
+type OnDemandStats struct {
+	// Emitted counts streamed modes; Exhausted reports that the stream
+	// covered the complete EFM set (MaxModes unreached).
+	Emitted   int
+	Exhausted bool
+	// FirstModeSeconds is the latency from run start to the first
+	// streamed mode — the interactive tier's headline metric.
+	FirstModeSeconds float64
+	// LPPivots counts every exact simplex pivot across the root solve
+	// and per-basis rebuilds; Phase1Pivots the feasibility subset.
+	LPPivots, Phase1Pivots int64
+	// Bases counts visited simplex bases (mirrored into
+	// Result.CandidateModes); Enqueued pushed frontier nodes;
+	// PeakFrontier the largest in-memory frontier.
+	Bases, Enqueued int64
+	PeakFrontier    int
+	// Duplicates, FutileSkips and VerifyRejects count vertices dropped
+	// before emission (already-streamed supports, split two-cycles,
+	// elementarity-check failures).
+	Duplicates, FutileSkips, VerifyRejects int64
+	// Values holds the exact objective value of each emitted mode in
+	// stream order, as rational strings.
+	Values []string
 }
 
 // RevSearchStats summarizes a reverse-search backend run. Bases,
@@ -453,12 +529,43 @@ type RevSearchStats struct {
 }
 
 // Fingerprint folds the result's canonical support list into a 64-bit
-// hash that is comparable ACROSS drivers: serial, parallel and
-// divide-and-conquer runs of the same network and reduction settings
-// must produce the same fingerprint. The differential test harness
-// keys on this.
+// hash that is comparable ACROSS drivers AND backends: serial, parallel,
+// divide-and-conquer, reverse-search and exhaustive on-demand runs of
+// the same network and reduction settings must produce the same
+// fingerprint. The differential test harness keys on this. On-demand
+// results hold their supports in emission (rank) order rather than
+// canonical order, so the fingerprint is computed order-insensitively:
+// already-sorted lists (every batch backend) hash directly, unsorted
+// ones hash a sorted copy.
 func (r *Result) Fingerprint() uint64 {
+	for i := 1; i < len(r.supports); i++ {
+		if r.supports[i-1].Compare(r.supports[i]) > 0 {
+			sorted := append([]bitset.Set(nil), r.supports...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a].Compare(sorted[b]) < 0 })
+			return core.SupportsFingerprint(sorted)
+		}
+	}
 	return core.SupportsFingerprint(r.supports)
+}
+
+// Truncate drops all modes past the first k, in the Result's stored
+// order. For on-demand results that order is the emission ranking, so
+// Truncate(k') of a k-mode stream is exactly the stream a MaxModes=k'
+// run would have produced — the property the job service's prefix cache
+// serves shorter requests with. No-op when k is negative or at least
+// Len().
+func (r *Result) Truncate(k int) {
+	if k < 0 || k >= len(r.supports) {
+		return
+	}
+	r.supports = r.supports[:k]
+	if r.OnDemand != nil {
+		r.OnDemand.Emitted = k
+		r.OnDemand.Exhausted = false
+		if len(r.OnDemand.Values) > k {
+			r.OnDemand.Values = r.OnDemand.Values[:k]
+		}
+	}
 }
 
 // Len returns the number of elementary flux modes.
@@ -677,6 +784,19 @@ func ComputeEFMs(n *Network, cfg Config) (*Result, error) {
 // needs the reduction's width for response validation and the reduction
 // happens here.
 func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}, remoteBind func(q int) dnc.RemoteExecutor) (*Result, error) {
+	if cfg.Backend != OnDemandBackend {
+		// The streaming request fields belong to the interactive tier
+		// alone; silently ignoring them on a batch backend would return
+		// the full set where the caller asked for the k best.
+		switch {
+		case cfg.MaxModes != 0:
+			return nil, fmt.Errorf("elmocomp: MaxModes bounds the on-demand stream; backend %d enumerates exhaustively", cfg.Backend)
+		case len(cfg.Objective) != 0:
+			return nil, fmt.Errorf("elmocomp: Objective ranks the on-demand stream; backend %d has no mode ordering", cfg.Backend)
+		case cfg.OnMode != nil:
+			return nil, fmt.Errorf("elmocomp: OnMode streams on-demand modes; backend %d delivers results only on completion", cfg.Backend)
+		}
+	}
 	red, err := reduce.Network(n.inner, reduce.Options{MergeDuplicates: !cfg.KeepDuplicateReactions})
 	if err != nil {
 		return nil, err
@@ -741,6 +861,77 @@ func computeEFMs(n *Network, cfg Config, cancel <-chan struct{}, remoteBind func
 			Jobs:         run.Stats.Jobs,
 			MaxDepth:     run.Stats.MaxDepth,
 		}
+		return res, nil
+	} else if cfg.Backend == OnDemandBackend {
+		if cfg.MaxIntermediateModes != 0 {
+			return nil, fmt.Errorf("elmocomp: MaxIntermediateModes is a double-description budget; the on-demand backend bounds its stream with MaxModes")
+		}
+		if remoteBind != nil {
+			return nil, fmt.Errorf("elmocomp: the on-demand backend does not dispatch to remote workers")
+		}
+		var obj []*big.Rat
+		if len(cfg.Objective) > 0 {
+			obj = make([]*big.Rat, red.N.Cols())
+			for name, val := range cfg.Objective {
+				col := red.ColumnIndexByOriginal(name)
+				if col < 0 {
+					return nil, fmt.Errorf("elmocomp: objective reaction %q was eliminated by reduction (or does not exist)", name)
+				}
+				w, ok := new(big.Rat).SetString(val)
+				if !ok {
+					return nil, fmt.Errorf("elmocomp: objective weight %q for %s is not a rational", val, name)
+				}
+				if obj[col] == nil {
+					obj[col] = w
+				} else {
+					// Two reactions merged into one reduced column both
+					// carry weights: they price the same flux, so add.
+					obj[col].Add(obj[col], w)
+				}
+			}
+		}
+		oopts := ondemand.Options{
+			Objective: obj,
+			MaxModes:  cfg.MaxModes,
+			Tol:       cfg.Tolerance,
+			Cancel:    cancel,
+			Progress:  cfg.Progress,
+		}
+		var values []string
+		st, err := ondemand.Generate(red.N, red.Reversibilities(), oopts, func(m ondemand.Mode) {
+			res.supports = append(res.supports, m.Support)
+			values = append(values, m.Value.RatString())
+			if cfg.OnMode != nil {
+				names := make([]string, 0, m.Support.Count())
+				for _, c := range m.Support.Indices(nil) {
+					names = append(names, red.Cols[c].Name)
+				}
+				sort.Strings(names)
+				cfg.OnMode(ModeEvent{Rank: m.Rank, Support: names, Value: m.Value.RatString()})
+			}
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				err = fmt.Errorf("%v: %w", err, cluster.ErrCanceled)
+			}
+			return nil, err
+		}
+		res.CandidateModes = st.Bases
+		ods := &OnDemandStats{
+			Emitted:          st.Emitted,
+			Exhausted:        st.Exhausted,
+			FirstModeSeconds: st.FirstModeSeconds,
+			LPPivots:         st.Pivots,
+			Phase1Pivots:     st.Phase1Pivots,
+			Bases:            st.Bases,
+			Enqueued:         st.Enqueued,
+			PeakFrontier:     st.PeakFrontier,
+			Duplicates:       st.Duplicates,
+			FutileSkips:      st.FutileSkips,
+			VerifyRejects:    st.VerifyRejects,
+			Values:           values,
+		}
+		res.OnDemand = ods
 		return res, nil
 	} else if cfg.Backend != NullspaceBackend {
 		return nil, fmt.Errorf("elmocomp: unknown backend %d", cfg.Backend)

@@ -45,15 +45,23 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Event is one line of a job's progress stream: state transitions and
-// the driver's Options.Progress lines, in append order. Seq is the
-// 0-based position in the stream, Elapsed the seconds since submission.
+// Event is one line of a job's progress stream: state transitions, the
+// driver's Options.Progress lines, and — for on-demand jobs — one
+// "mode" event per streamed elementary flux mode, in append order. Seq
+// is the 0-based position in the stream, Elapsed the seconds since
+// submission.
 type Event struct {
 	Seq     int     `json:"seq"`
 	Elapsed float64 `json:"elapsed"`
-	Type    string  `json:"type"` // "state" | "progress"
+	Type    string  `json:"type"` // "state" | "progress" | "mode"
 	State   string  `json:"state,omitempty"`
 	Msg     string  `json:"msg,omitempty"`
+	// Mode-event payload (Type == "mode"): the stream rank, the sorted
+	// reduced reaction names carrying flux, and the exact objective
+	// value as a rational string.
+	Rank    int      `json:"rank,omitempty"`
+	Support []string `json:"support,omitempty"`
+	Value   string   `json:"value,omitempty"`
 }
 
 // Job is one submitted computation. All accessors are safe from any
@@ -119,13 +127,15 @@ func newJob(id, key string, req Request) *Job {
 // appendEventLocked records an event and wakes every stream waiter.
 // Caller holds j.mu.
 func (j *Job) appendEventLocked(typ, state, msg string) {
-	j.events = append(j.events, Event{
-		Seq:     len(j.events),
-		Elapsed: time.Since(j.created).Seconds(),
-		Type:    typ,
-		State:   state,
-		Msg:     msg,
-	})
+	j.appendLocked(Event{Type: typ, State: state, Msg: msg})
+}
+
+// appendLocked stamps sequence and elapsed time onto ev, appends it and
+// wakes every stream waiter. Caller holds j.mu.
+func (j *Job) appendLocked(ev Event) {
+	ev.Seq = len(j.events)
+	ev.Elapsed = time.Since(j.created).Seconds()
+	j.events = append(j.events, ev)
 	close(j.change)
 	j.change = make(chan struct{})
 }
@@ -135,6 +145,16 @@ func (j *Job) Progress(msg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.appendEventLocked("progress", "", msg)
+}
+
+// Mode records one streamed on-demand mode as a "mode" event — the hook
+// the manager installs as Config.OnMode so clients tailing the job's
+// event stream see each mode the moment the generator emits it, long
+// before the job completes.
+func (j *Job) Mode(e elmocomp.ModeEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(Event{Type: "mode", Rank: e.Rank, Support: e.Support, Value: e.Value})
 }
 
 // tryStart moves Queued → Running; it fails when the job was canceled

@@ -72,6 +72,11 @@ type Config struct {
 	// CacheBytes is the result cache's payload budget. 0 means 64 MiB;
 	// negative disables caching.
 	CacheBytes int64
+	// PrefixCacheBytes is the on-demand prefix cache's payload budget:
+	// completed k-bounded streams stored by request family so a shorter
+	// request is served by truncation instead of a re-run. 0 means
+	// 16 MiB; negative disables it.
+	PrefixCacheBytes int64
 	// KeepJobs bounds how many terminal jobs stay addressable by ID
 	// (results can hold megabytes of modes; without a bound the jobs map
 	// grows forever). Oldest-finished evict first. 0 means 256; negative
@@ -110,6 +115,9 @@ type Counters struct {
 	Submitted    int64 `json:"submitted"`
 	Coalesced    int64 `json:"coalesced"`
 	CacheHits    int64 `json:"cache_hits"`
+	// PrefixHits counts on-demand submissions served by truncating a
+	// stored longer stream of the same request family (no driver run).
+	PrefixHits   int64 `json:"prefix_hits"`
 	Rejected     int64 `json:"rejected"`
 	RunsStarted  int64 `json:"runs_started"`
 	RunsDone     int64 `json:"runs_done"`
@@ -141,7 +149,9 @@ type Counters struct {
 type Stats struct {
 	Counters Counters   `json:"counters"`
 	Cache    CacheStats `json:"cache"`
-	Queued   int        `json:"queued"`
+	// PrefixCache snapshots the on-demand prefix cache.
+	PrefixCache CacheStats `json:"prefix_cache"`
+	Queued      int        `json:"queued"`
 	Running  int        `json:"running"`
 	Jobs     int        `json:"jobs"`
 	// ResidentBytes is the sum of the memory-budget reservations of all
@@ -166,6 +176,7 @@ type Manager struct {
 	cfg     Config
 	compute ComputeFunc
 	cache   *Cache
+	prefix  *PrefixCache
 	queue   chan *Job
 
 	mu       sync.Mutex
@@ -194,6 +205,9 @@ func New(cfg Config) *Manager {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 64 << 20
 	}
+	if cfg.PrefixCacheBytes == 0 {
+		cfg.PrefixCacheBytes = 16 << 20
+	}
 	if cfg.KeepJobs == 0 {
 		cfg.KeepJobs = 256
 	}
@@ -201,6 +215,7 @@ func New(cfg Config) *Manager {
 		cfg:      cfg,
 		compute:  cfg.Compute,
 		cache:    NewCache(cfg.CacheBytes),
+		prefix:   NewPrefixCache(cfg.PrefixCacheBytes),
 		queue:    make(chan *Job, cfg.Queue),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
@@ -231,6 +246,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 	if req.Config.Progress != nil {
 		return nil, errors.New("jobs: Request.Config.Progress is owned by the manager")
+	}
+	if req.Config.OnMode != nil {
+		return nil, errors.New("jobs: Request.Config.OnMode is owned by the manager (modes stream as job events)")
 	}
 	// Operator memory policy. Both fields are result-neutral (excluded
 	// from the request key), so coalescing and the cache are unaffected.
@@ -264,10 +282,24 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if payload, fp, _, ok := m.cache.Get(key); ok {
 		res, err := elmocomp.ResultFromEncodedSupports(req.Network, req.Config, payload)
 		if err == nil && res.Fingerprint() == fp {
-			return m.adoptCacheHit(key, req, res, fp)
+			return m.adoptCacheHit(key, req, res, fp, false)
 		}
 		// Poisoned entry (stale format, corruption): drop it and run.
 		m.cache.Remove(key)
+	}
+	// Second chance for bounded on-demand requests: a stored LONGER
+	// stream of the same family serves this k by truncation — the
+	// ranked stream is a pure prefix function of k.
+	if req.Config.Backend == elmocomp.OnDemandBackend && req.Config.MaxModes > 0 {
+		pkey := elmocomp.OnDemandPrefixKey(req.Network, req.Config)
+		if payload, fp, _, _, ok := m.prefix.Get(pkey, req.Config.MaxModes); ok {
+			res, err := elmocomp.ResultFromEncodedSupports(req.Network, req.Config, payload)
+			if err == nil && res.Fingerprint() == fp {
+				res.Truncate(req.Config.MaxModes)
+				return m.adoptCacheHit(key, req, res, res.Fingerprint(), true)
+			}
+			m.prefix.Remove(pkey)
+		}
 	}
 
 	m.mu.Lock()
@@ -315,8 +347,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 }
 
 // adoptCacheHit registers a job that was born done from a cached
-// payload. It never occupies a queue slot or a worker.
-func (m *Manager) adoptCacheHit(key string, req Request, res *elmocomp.Result, fp uint64) (*Job, error) {
+// payload (prefix = served by truncating a stored on-demand stream).
+// It never occupies a queue slot or a worker.
+func (m *Manager) adoptCacheHit(key string, req Request, res *elmocomp.Result, fp uint64, prefix bool) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -326,9 +359,17 @@ func (m *Manager) adoptCacheHit(key string, req Request, res *elmocomp.Result, f
 	j.mu.Lock()
 	j.cached = true
 	j.mu.Unlock()
-	j.finalize(StateDone, res, fp, nil, fmt.Sprintf("cache hit: %d modes, fingerprint %016x", res.Len(), fp))
+	kind := "cache hit"
+	if prefix {
+		kind = "prefix cache hit"
+	}
+	j.finalize(StateDone, res, fp, nil, fmt.Sprintf("%s: %d modes, fingerprint %016x", kind, res.Len(), fp))
 	m.jobs[j.ID] = j
-	m.counters.CacheHits++
+	if prefix {
+		m.counters.PrefixHits++
+	} else {
+		m.counters.CacheHits++
+	}
 	m.retireLocked(j)
 	return j, nil
 }
@@ -412,6 +453,10 @@ func (m *Manager) runJob(j *Job) {
 
 	req := j.req
 	req.Config.Progress = j.Progress
+	if req.Config.Backend == elmocomp.OnDemandBackend {
+		// Modes stream onto the job's event channel as they are found.
+		req.Config.OnMode = j.Mode
+	}
 	res, err := m.compute(req, j.latch.Done())
 
 	var fp uint64
@@ -422,7 +467,15 @@ func (m *Manager) runJob(j *Job) {
 		fp = res.Fingerprint()
 		state = StateDone
 		note = fmt.Sprintf("%d modes, fingerprint %016x", res.Len(), fp)
-		m.cache.Put(j.Key, res.EncodeSupports(), fp, res.Len())
+		payload := res.EncodeSupports()
+		m.cache.Put(j.Key, payload, fp, res.Len())
+		if req.Config.Backend == elmocomp.OnDemandBackend {
+			// Upgrade the family's prefix entry: the stored stream only
+			// ever grows, and an exhausted run completes the family so
+			// every future k is served from cache.
+			complete := res.OnDemand != nil && res.OnDemand.Exhausted
+			m.prefix.Put(elmocomp.OnDemandPrefixKey(req.Network, req.Config), payload, fp, res.Len(), complete)
+		}
 	case j.latch.Cause() != nil:
 		// The latch tripped and the driver unwound: report the cancel
 		// cause, not the ErrAborted/ErrCanceled cascade it triggered.
@@ -473,6 +526,7 @@ func (m *Manager) Stats() Stats {
 	s := Stats{
 		Counters:      m.counters,
 		Cache:         m.cache.Stats(),
+		PrefixCache:   m.prefix.Stats(),
 		Queued:        m.queued,
 		Running:       m.running,
 		Jobs:          len(m.jobs),

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"elmocomp"
+)
+
+// submitWait submits a request against the real drivers and waits for a
+// terminal state.
+func submitWait(t *testing.T, m *Manager, req Request) *Job {
+	t.Helper()
+	j, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s: %v", j.ID, err)
+	}
+	return j
+}
+
+func modeEvents(t *testing.T, j *Job) []Event {
+	t.Helper()
+	evs, term := j.Events(0)
+	if !term {
+		t.Fatalf("job %s not terminal", j.ID)
+	}
+	var modes []Event
+	for _, e := range evs {
+		if e.Type == "mode" {
+			modes = append(modes, e)
+		}
+	}
+	return modes
+}
+
+// TestOnDemandModeEventsStream runs a real bounded on-demand job on the
+// toy network and checks every streamed mode landed on the event channel
+// in rank order, before the terminal state event.
+func TestOnDemandModeEventsStream(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer shutdown(t, m)
+	j := submitWait(t, m, toyRequest(t, elmocomp.Config{Backend: elmocomp.OnDemandBackend, MaxModes: 5}))
+	res, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("k=5 job returned %d modes", res.Len())
+	}
+	modes := modeEvents(t, j)
+	if len(modes) != 5 {
+		t.Fatalf("%d mode events for 5 modes", len(modes))
+	}
+	evs, _ := j.Events(0)
+	lastSeq := evs[len(evs)-1].Seq
+	for i, e := range modes {
+		if e.Rank != i+1 || len(e.Support) == 0 || e.Value == "" {
+			t.Fatalf("mode event %d malformed: %+v", i, e)
+		}
+		if e.Seq >= lastSeq {
+			t.Fatalf("mode event %d arrived with/after the terminal event", i)
+		}
+	}
+}
+
+// TestOnDemandPrefixCacheServesShorterK is the prefix-cache regression:
+// after a completed k=5 run, a k=3 submission of the same family is
+// served by truncation — no driver run — and returns exactly the first
+// 3 modes of the k=5 stream. A k beyond the stored stream still runs
+// (and upgrades the entry); an exhaustive run completes the family so
+// any k serves from cache thereafter.
+func TestOnDemandPrefixCacheServesShorterK(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer shutdown(t, m)
+	od := func(k int) Request {
+		return toyRequest(t, elmocomp.Config{Backend: elmocomp.OnDemandBackend, MaxModes: k})
+	}
+
+	j5 := submitWait(t, m, od(5))
+	res5, _ := j5.Result()
+	if got := m.Stats().Counters; got.RunsStarted != 1 || got.PrefixHits != 0 {
+		t.Fatalf("after k=5: %+v", got)
+	}
+
+	j3 := submitWait(t, m, od(3))
+	res3, err := j3.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Counters; got.RunsStarted != 1 || got.PrefixHits != 1 {
+		t.Fatalf("k=3 was not served from the prefix cache: %+v", got)
+	}
+	if !j3.Status().Cached {
+		t.Fatal("prefix-served job not marked cached")
+	}
+	if res3.Len() != 3 {
+		t.Fatalf("k=3 prefix serve returned %d modes", res3.Len())
+	}
+	for i := 0; i < 3; i++ {
+		a, b := res3.ReducedSupport(i), res5.ReducedSupport(i)
+		if len(a) != len(b) {
+			t.Fatalf("prefix mode %d diverges from the k=5 stream", i)
+		}
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("prefix mode %d diverges from the k=5 stream", i)
+			}
+		}
+	}
+
+	// Beyond the stored stream: must run, then upgrade the entry.
+	j7 := submitWait(t, m, od(7))
+	res7, _ := j7.Result()
+	if got := m.Stats().Counters; got.RunsStarted != 2 || got.PrefixHits != 1 {
+		t.Fatalf("k=7 should have run: %+v", got)
+	}
+	if res7.Len() != 7 {
+		t.Fatalf("k=7 returned %d modes", res7.Len())
+	}
+	j6 := submitWait(t, m, od(6))
+	if got := m.Stats().Counters; got.RunsStarted != 2 || got.PrefixHits != 2 {
+		t.Fatalf("k=6 was not served from the upgraded entry: %+v", got)
+	}
+	res6, _ := j6.Result()
+	if res6.Len() != 6 {
+		t.Fatalf("k=6 returned %d modes", res6.Len())
+	}
+
+	// Exhaustive run (k=0, shares the batch key) completes the family:
+	// any k serves from the prefix cache afterwards.
+	jAll := submitWait(t, m, od(0))
+	resAll, _ := jAll.Result()
+	if got := m.Stats().Counters; got.RunsStarted != 3 {
+		t.Fatalf("exhaustive run missing: %+v", got)
+	}
+	jBig := submitWait(t, m, od(resAll.Len()+100))
+	resBig, _ := jBig.Result()
+	if got := m.Stats().Counters; got.RunsStarted != 3 || got.PrefixHits != 3 {
+		t.Fatalf("over-length k was not served from the completed family: %+v", got)
+	}
+	if resBig.Len() != resAll.Len() || resBig.Fingerprint() != resAll.Fingerprint() {
+		t.Fatalf("completed-family serve: %d modes fp %016x, want %d fp %016x",
+			resBig.Len(), resBig.Fingerprint(), resAll.Len(), resAll.Fingerprint())
+	}
+	if m.Stats().PrefixCache.Entries != 1 {
+		t.Fatalf("prefix cache holds %d entries, want 1 family", m.Stats().PrefixCache.Entries)
+	}
+}
+
+// TestOnDemandSubmitRejectsOwnedOnMode: OnMode is manager-owned like
+// Progress.
+func TestOnDemandSubmitRejectsOwnedOnMode(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer shutdown(t, m)
+	req := toyRequest(t, elmocomp.Config{Backend: elmocomp.OnDemandBackend, MaxModes: 1,
+		OnMode: func(elmocomp.ModeEvent) {}})
+	if _, err := m.Submit(req); err == nil {
+		t.Fatal("caller-set OnMode accepted")
+	}
+}

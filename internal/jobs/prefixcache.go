@@ -1,0 +1,135 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PrefixCache is the on-demand tier's second-chance cache. Bounded
+// (MaxModes > 0) requests cannot share the main result cache's entries
+// across k — each k is its own request key — but the ranked stream is a
+// pure function of (network, config, objective), so a completed k-mode
+// run IS the first k modes of every longer run. Entries are therefore
+// keyed by the request FAMILY (elmocomp.OnDemandPrefixKey, k elided)
+// and hold the longest stream seen so far; any request with k' at or
+// below the stored length — or any k' at all once an exhaustive run
+// completed the family — is served by truncation, skipping the driver
+// entirely. LRU-evicted under a byte budget, like the main cache.
+type PrefixCache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions, rejected int64
+}
+
+type prefixEntry struct {
+	key         string
+	payload     []byte // EncodeSupports, EMISSION order
+	fingerprint uint64
+	modes       int
+	// complete marks an exhausted stream: the payload is the family's
+	// entire EFM set and serves ANY k.
+	complete bool
+}
+
+// NewPrefixCache returns a cache bounded by budget bytes of payload. A
+// budget <= 0 disables caching: every Get misses, every Put is dropped.
+func NewPrefixCache(budget int64) *PrefixCache {
+	return &PrefixCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the family's stored stream if it can serve a k-mode
+// request: the entry is complete, or holds at least k modes. The
+// returned payload is shared — callers must not mutate it.
+func (c *PrefixCache) Get(key string, k int) (payload []byte, fingerprint uint64, modes int, complete, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		c.misses++
+		return nil, 0, 0, false, false
+	}
+	e := el.Value.(*prefixEntry)
+	if !e.complete && e.modes < k {
+		// A longer stream than we have: the run must happen (and will
+		// upgrade this entry).
+		c.misses++
+		return nil, 0, 0, false, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return e.payload, e.fingerprint, e.modes, e.complete, true
+}
+
+// Put stores a family's completed stream, but only if it improves on
+// what is held: a complete stream always wins over an incomplete one,
+// and among incomplete streams the longer wins. Re-running a shorter k
+// never downgrades the entry.
+func (c *PrefixCache) Put(key string, payload []byte, fingerprint uint64, modes int, complete bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(payload)) > c.budget {
+		c.rejected++
+		return
+	}
+	if el, found := c.items[key]; found {
+		e := el.Value.(*prefixEntry)
+		if e.complete || (!complete && modes <= e.modes) {
+			c.ll.MoveToFront(el)
+			return
+		}
+		c.size += int64(len(payload)) - int64(len(e.payload))
+		e.payload, e.fingerprint, e.modes, e.complete = payload, fingerprint, modes, complete
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&prefixEntry{key: key, payload: payload, fingerprint: fingerprint, modes: modes, complete: complete})
+		c.items[key] = el
+		c.size += int64(len(payload))
+	}
+	for c.size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*prefixEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.payload))
+		c.evictions++
+	}
+}
+
+// Remove drops key from the cache (a decode failure poisons the entry).
+func (c *PrefixCache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.items[key]; found {
+		e := el.Value.(*prefixEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.size -= int64(len(e.payload))
+	}
+}
+
+// Stats snapshots the cache counters, reusing the main cache's stats
+// shape.
+func (c *PrefixCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.size,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Rejected:  c.rejected,
+	}
+}

@@ -1,0 +1,140 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// errInfeasible is the internal phase-1 signal for an empty feasible
+// region; Solve converts it into Status == Infeasible.
+var errInfeasible = errors.New("lp: infeasible")
+
+// phase1 finds a primal feasible basis of the (independent-row) program
+// with the textbook artificial-variable method: each row gets an
+// artificial seeded basic at |b_i|, their sum is minimized under
+// Bland's least-index rule (a complete anti-cycling guarantee in exact
+// arithmetic), and leftover zero-level artificials are pivoted out
+// against structural columns — always possible because the rows are
+// independent. Returns the feasible structural basis in ascending
+// order and the pivot count.
+func phase1(p *program, cancel <-chan struct{}) ([]int, int64, error) {
+	m, n := p.m, p.n
+	// Extended dictionary over n structural + m artificial columns,
+	// with rows sign-flipped so every artificial starts non-negative.
+	ext := &Dict{
+		prog:    &program{m: m, n: n + m},
+		rows:    make([][]*big.Rat, m),
+		basisOf: make([]int, m),
+		rowOf:   make([]int, n+m),
+	}
+	for i := range ext.rowOf {
+		ext.rowOf[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		row := make([]*big.Rat, n+m+1)
+		neg := p.b[i].Sign() < 0
+		for j := 0; j < n; j++ {
+			row[j] = newRat().Set(p.A.At(i, j))
+			if neg {
+				row[j].Neg(row[j])
+			}
+		}
+		for j := 0; j < m; j++ {
+			row[n+j] = newRat()
+		}
+		row[n+i] = big.NewRat(1, 1)
+		row[n+m] = newRat().Set(p.b[i])
+		if neg {
+			row[n+m].Neg(row[n+m])
+		}
+		ext.rows[i] = row
+		ext.basisOf[i] = n + i
+		ext.rowOf[n+i] = i
+	}
+
+	// Minimize the artificial sum. The reduced cost of structural
+	// column j is -sum of T[r][j] over artificial-basic rows; entering
+	// wants it negative, i.e. that column sum positive.
+	var x, y big.Rat
+	for iter := 0; ; iter++ {
+		if iter%64 == 0 && canceled(cancel) {
+			return nil, ext.pivots, ErrCanceled
+		}
+		enter := -1
+		for j := 0; j < n; j++ {
+			if ext.rowOf[j] >= 0 {
+				continue
+			}
+			var acc big.Rat
+			for r := 0; r < m; r++ {
+				if ext.basisOf[r] >= n {
+					acc.Add(&acc, ext.rows[r][j])
+				}
+			}
+			if acc.Sign() > 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break
+		}
+		// Bland leaving: minimum ratio bbar/T over positive entries,
+		// ties to the least basic variable index.
+		leave := -1
+		for r := 0; r < m; r++ {
+			if ext.rows[r][enter].Sign() <= 0 {
+				continue
+			}
+			if leave < 0 {
+				leave = r
+				continue
+			}
+			x.Mul(ext.rows[r][n+m], ext.rows[leave][enter])
+			y.Mul(ext.rows[leave][n+m], ext.rows[r][enter])
+			switch x.Cmp(&y) {
+			case -1:
+				leave = r
+			case 0:
+				if ext.basisOf[r] < ext.basisOf[leave] {
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, ext.pivots, fmt.Errorf("lp: phase-1 entering column %d unbounded", enter)
+		}
+		ext.Pivot(leave, enter)
+	}
+	// Optimal: infeasible iff any artificial still carries flow.
+	for r := 0; r < m; r++ {
+		if ext.basisOf[r] >= n && ext.rows[r][n+m].Sign() != 0 {
+			return nil, ext.pivots, errInfeasible
+		}
+	}
+	// Drive zero-level artificials out on any nonzero structural entry.
+	for r := 0; r < m; r++ {
+		if ext.basisOf[r] < n {
+			continue
+		}
+		done := false
+		for j := 0; j < n; j++ {
+			if ext.rowOf[j] < 0 && ext.rows[r][j].Sign() != 0 {
+				ext.Pivot(r, j)
+				done = true
+				break
+			}
+		}
+		if !done {
+			return nil, ext.pivots, fmt.Errorf("lp: cannot drive artificial out of row %d (dependent constraint row survived)", r)
+		}
+	}
+	basis := make([]int, 0, m)
+	for v := 0; v < n; v++ {
+		if ext.rowOf[v] >= 0 {
+			basis = append(basis, v)
+		}
+	}
+	return basis, ext.pivots, nil
+}

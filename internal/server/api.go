@@ -18,11 +18,13 @@ import (
 // the library defaults; the field vocabulary matches the efmcalc flags.
 type RunOptions struct {
 	// Backend picks the enumeration family: "nullspace" (default, the
-	// double-description drivers selected by Algorithm) or "revsearch"
-	// (lexicographic reverse search). Result-neutral — both compute the
-	// identical canonical mode set — so it is not part of the request
-	// key and a cached result serves either backend.
-	Backend        string   `json:"backend,omitempty"`   // nullspace | revsearch
+	// double-description drivers selected by Algorithm), "revsearch"
+	// (lexicographic reverse search), or "ondemand" (the interactive
+	// ranked-streaming tier). The exhaustive backends are result-neutral
+	// — all compute the identical canonical mode set — so the choice is
+	// not part of the request key and a cached result serves any of
+	// them; a bounded on-demand request (k > 0) keys on K and Objective.
+	Backend        string   `json:"backend,omitempty"`   // nullspace | revsearch | ondemand
 	Algorithm      string   `json:"algorithm,omitempty"` // serial | parallel | dnc
 	Nodes          int      `json:"nodes,omitempty"`
 	Workers        int      `json:"workers,omitempty"`
@@ -35,6 +37,14 @@ type RunOptions struct {
 	KeepDuplicates bool     `json:"keep_duplicates,omitempty"`
 	MaxModes       int      `json:"max_modes,omitempty"`
 	Tolerance      float64  `json:"tolerance,omitempty"`
+	// K bounds the on-demand stream: stop after the first k ranked modes
+	// (0 = run to exhaustion). Streaming-tier only — distinct from
+	// MaxModes, which budgets INTERMEDIATE modes in the batch backends.
+	K int `json:"k,omitempty"`
+	// Objective maps reaction names to exact rational weights ("1/2",
+	// "-3") ranking the on-demand stream; empty means the zero objective
+	// (any emission order). Streaming-tier only.
+	Objective map[string]string `json:"objective,omitempty"`
 	// CommTimeoutSeconds bounds each inter-node collective.
 	CommTimeoutSeconds float64 `json:"comm_timeout_seconds,omitempty"`
 	// MemBudgetBytes caps resident intermediate-mode bytes per engine;
@@ -66,8 +76,15 @@ func (o RunOptions) Config() (elmocomp.Config, error) {
 		cfg.Backend = elmocomp.NullspaceBackend
 	case "revsearch":
 		cfg.Backend = elmocomp.ReverseSearchBackend
+	case "ondemand":
+		cfg.Backend = elmocomp.OnDemandBackend
+		cfg.MaxModes = o.K
+		cfg.Objective = o.Objective
 	default:
-		return cfg, fmt.Errorf("unknown backend %q (nullspace | revsearch)", o.Backend)
+		return cfg, fmt.Errorf("unknown backend %q (nullspace | revsearch | ondemand)", o.Backend)
+	}
+	if cfg.Backend != elmocomp.OnDemandBackend && (o.K != 0 || len(o.Objective) != 0) {
+		return cfg, fmt.Errorf("k and objective require backend \"ondemand\"")
 	}
 	switch strings.ToLower(o.Algorithm) {
 	case "", "serial":
@@ -169,6 +186,16 @@ type RunSummary struct {
 	RevsearchPivots   int64 `json:"revsearch_pivots,omitempty"`
 	RevsearchJobs     int64 `json:"revsearch_jobs,omitempty"`
 	RevsearchMaxDepth int   `json:"revsearch_max_depth,omitempty"`
+	// On-demand streaming counters, set only by the ondemand backend:
+	// modes emitted (== Modes), whether the basis graph was exhausted
+	// (false when a k bound stopped the stream), latency to the first
+	// verified mode, and the exact-LP work behind the stream.
+	OndemandEmitted          int     `json:"ondemand_emitted,omitempty"`
+	OndemandExhausted        bool    `json:"ondemand_exhausted,omitempty"`
+	OndemandFirstModeSeconds float64 `json:"ondemand_first_mode_seconds,omitempty"`
+	OndemandLPPivots         int64   `json:"ondemand_lp_pivots,omitempty"`
+	OndemandPhase1Pivots     int64   `json:"ondemand_lp_phase1_pivots,omitempty"`
+	OndemandBases            int64   `json:"ondemand_bases,omitempty"`
 }
 
 // Summarize builds the shared summary from a finished run.
@@ -202,6 +229,14 @@ func Summarize(net *elmocomp.Network, res *elmocomp.Result, elapsed time.Duratio
 		s.RevsearchPivots = rs.Pivots
 		s.RevsearchJobs = rs.Jobs
 		s.RevsearchMaxDepth = rs.MaxDepth
+	}
+	if od := res.OnDemand; od != nil {
+		s.OndemandEmitted = od.Emitted
+		s.OndemandExhausted = od.Exhausted
+		s.OndemandFirstModeSeconds = od.FirstModeSeconds
+		s.OndemandLPPivots = od.LPPivots
+		s.OndemandPhase1Pivots = od.Phase1Pivots
+		s.OndemandBases = od.Bases
 	}
 	return s
 }

@@ -342,6 +342,56 @@ func TestEventsStreamShape(t *testing.T) {
 	}
 }
 
+// TestOnDemandStreamOverHTTP is the interactive-tier acceptance over the
+// wire: a backend=ondemand k=2 submission streams exactly two "mode"
+// NDJSON events — rank-ordered, named supports, exact rational values —
+// strictly before the terminal state event, and the result summary
+// carries the ondemand_* counters.
+func TestOnDemandStreamOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1})
+	st, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{Backend: "ondemand", K: 2}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	evs := streamEvents(t, ts, st.ID)
+	if last := evs[len(evs)-1]; last.Type != "state" || last.State != "done" {
+		t.Fatalf("terminal event %+v", last)
+	}
+	var modes []jobs.Event
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Type == "mode" {
+			modes = append(modes, ev)
+		}
+	}
+	if len(modes) != 2 {
+		t.Fatalf("%d mode events on the wire, want 2", len(modes))
+	}
+	for i, ev := range modes {
+		if ev.Rank != i+1 || len(ev.Support) == 0 || ev.Value == "" {
+			t.Fatalf("mode event %d malformed: %+v", i, ev)
+		}
+	}
+	rr, code := awaitResult(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	s := rr.Summary
+	if s.Modes != 2 || s.OndemandEmitted != 2 || s.OndemandExhausted ||
+		s.OndemandFirstModeSeconds <= 0 || s.OndemandBases <= 0 || s.OndemandLPPivots <= 0 {
+		t.Fatalf("ondemand summary implausible: %+v", s)
+	}
+	if len(rr.Supports) != 2 {
+		t.Fatalf("%d supports for k=2", len(rr.Supports))
+	}
+	// Streaming fields are refused outside the ondemand backend.
+	if _, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{K: 2}}); code != http.StatusBadRequest {
+		t.Errorf("k on the nullspace backend: status %d, want 400", code)
+	}
+	if _, code := postJob(t, ts, SubmitRequest{Model: "toy", Options: RunOptions{Backend: "revsearch", Objective: map[string]string{"R1": "1"}}}); code != http.StatusBadRequest {
+		t.Errorf("objective on revsearch: status %d, want 400", code)
+	}
+}
+
 // TestVarzStoreCounters: a memory-budgeted job must surface its store
 // engagement in both the result summary and the /varz counters, without
 // changing the result, and the cache gauge must reflect the stored

@@ -85,6 +85,41 @@ case "$CSTATE" in
   *) fail "canceled job ended in state $CSTATE" ;;
 esac
 
+echo "== on-demand stream: backend=ondemand k=3 delivers 3 mode events"
+OID=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"toy","options":{"backend":"ondemand","k":3}}' | jq -r .id)
+[ -n "$OID" ] && [ "$OID" != null ] || fail "no job id for the on-demand submission"
+curl -fsS "$BASE/v1/jobs/$OID/events" > "$WORKDIR/odevents.ndjson"
+N_MODE=$(jq -rs '[.[] | select(.type == "mode")] | length' "$WORKDIR/odevents.ndjson")
+[ "$N_MODE" = 3 ] || fail "on-demand k=3 streamed $N_MODE mode events, want 3"
+RANKS=$(jq -rs '[.[] | select(.type == "mode") | .rank] | join(",")' "$WORKDIR/odevents.ndjson")
+[ "$RANKS" = "1,2,3" ] || fail "mode events out of rank order: $RANKS"
+LAST_MODE_SEQ=$(jq -rs '[.[] | select(.type == "mode") | .seq] | max' "$WORKDIR/odevents.ndjson")
+TERM_SEQ=$(tail -1 "$WORKDIR/odevents.ndjson" | jq -r .seq)
+[ "$(tail -1 "$WORKDIR/odevents.ndjson" | jq -r .state)" = done ] || fail "on-demand job did not finish done"
+[ "$LAST_MODE_SEQ" -lt "$TERM_SEQ" ] || fail "mode events did not precede the terminal event"
+OD_MODES=$(curl -fsS "$BASE/v1/jobs/$OID/result" | jq -r .summary.modes)
+[ "$OD_MODES" = 3 ] || fail "on-demand result holds $OD_MODES modes, want 3"
+echo "   3 mode events (ranks $RANKS) before the terminal event"
+
+echo "== on-demand cancel mid-stream resolves in under a second"
+CID2=$(curl -fsS "$BASE/v1/jobs" -d '{"model":"yeast1","options":{"backend":"ondemand","k":100000}}' | jq -r .id)
+curl -fsS "$BASE/v1/jobs/$CID2/events" > "$WORKDIR/cancel.ndjson" &
+STREAM_PID=$!
+for i in $(seq 1 100); do
+  grep -q '"type":"mode"' "$WORKDIR/cancel.ndjson" 2>/dev/null && break
+  [ "$i" = 100 ] && fail "no mode event arrived on yeast1 within 10s"
+  sleep 0.1
+done
+T0=$(date +%s%N)
+curl -fsS -X DELETE "$BASE/v1/jobs/$CID2" >/dev/null
+wait "$STREAM_PID" || true
+T1=$(date +%s%N)
+ELAPSED_MS=$(( (T1 - T0) / 1000000 ))
+CSTATE2=$(tail -1 "$WORKDIR/cancel.ndjson" | jq -r .state)
+[ "$CSTATE2" = canceled ] || fail "mid-stream cancel ended in state $CSTATE2"
+[ "$ELAPSED_MS" -lt 1000 ] || fail "cancel took ${ELAPSED_MS}ms, want < 1000ms"
+echo "   canceled mid-stream in ${ELAPSED_MS}ms"
+
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$DAEMON_PID"
 for i in $(seq 1 100); do

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math/big"
+	"sort"
 	"strings"
 
 	"elmocomp/internal/bitset"
@@ -107,13 +109,20 @@ func (n *Network) Canonical() string { return n.inner.String() }
 // likewise normalized away; with a budget set they shape which classes
 // go unresolved, so they are part of the identity.
 //
-// Backend is normalized away unconditionally: the reverse-search
-// backend rejects MaxIntermediateModes (it has no intermediate matrices
-// to budget), so every revsearch run is exhaustive and its canonical
-// mode set is bitwise identical to the double-description result — the
-// cross-family differential harness makes that fingerprint equality a
-// CI invariant. A cached double-description result therefore serves a
-// revsearch request and vice versa.
+// Backend is normalized away for the exhaustive families: the
+// reverse-search backend rejects MaxIntermediateModes (it has no
+// intermediate matrices to budget), so every revsearch run is
+// exhaustive and its canonical mode set is bitwise identical to the
+// double-description result — the cross-family differential harness
+// makes that fingerprint equality a CI invariant. A cached
+// double-description result therefore serves a revsearch request and
+// vice versa. The same holds for an on-demand run with MaxModes == 0
+// (exhaustion yields the identical set, whatever the objective ranked
+// first), so it too shares the batch key. But an on-demand request
+// with MaxModes > 0 returns only the k objective-best modes — k and
+// the canonicalized objective ARE the result's identity, so they are
+// hashed in. Partial results are scenario-dependent by design; that is
+// the one place Backend leaks into the key.
 func RequestKey(n *Network, cfg Config) string {
 	h := sha256.New()
 	io.WriteString(h, "elmocomp/request-key/v1\n")
@@ -139,6 +148,54 @@ func RequestKey(n *Network, cfg Config) string {
 	fmt.Fprintf(h, "\nalg=%d qsub=%d partition=%q test=%d split=%v tol=%g maxmodes=%d keepdup=%v noroworder=%v norevlast=%v\n",
 		alg, qsub, partition, cfg.Test, split, tol, cfg.MaxIntermediateModes,
 		cfg.KeepDuplicateReactions, cfg.DisableRowOrdering, cfg.DisableReversibleLast)
+	if cfg.Backend == OnDemandBackend && cfg.MaxModes > 0 {
+		fmt.Fprintf(h, "ondemand k=%d objective=%s\n", cfg.MaxModes, canonicalObjective(cfg.Objective))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalObjective renders an objective map byte-stably: reaction
+// names sorted, weights normalized through big.Rat so "2/4" and "1/2"
+// (or "0.5") hash identically. A weight that does not parse is passed
+// through verbatim — the compute path rejects it with a real error, so
+// the key only needs to be deterministic, not valid.
+func canonicalObjective(obj map[string]string) string {
+	if len(obj) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(obj))
+	for name := range obj {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := obj[name]
+		if w, ok := new(big.Rat).SetString(val); ok {
+			val = w.RatString()
+		}
+		fmt.Fprintf(&b, "%s=%s", name, val)
+	}
+	return b.String()
+}
+
+// OnDemandPrefixKey returns the identity of an on-demand request FAMILY:
+// RequestKey with the stream bound k elided. Every MaxModes setting of
+// one (network, config, objective) triple shares this key, and — because
+// the ranked stream is a pure function of that triple — a completed run
+// of k modes is byte-for-byte the prefix of any longer run. The job
+// service's prefix cache exploits exactly that: a stored k=10 result
+// serves any k' <= 10 request by truncation, without recomputing.
+func OnDemandPrefixKey(n *Network, cfg Config) string {
+	base := cfg
+	base.MaxModes = 0 // exhaustive request: hashes to the shared batch key
+	h := sha256.New()
+	io.WriteString(h, "elmocomp/ondemand-prefix/v1\n")
+	io.WriteString(h, RequestKey(n, base))
+	fmt.Fprintf(h, "\nobjective=%s\n", canonicalObjective(cfg.Objective))
 	return hex.EncodeToString(h.Sum(nil))
 }
 
